@@ -1,0 +1,175 @@
+//! Finite-difference gradient verification.
+//!
+//! Every analytic backward rule in this workspace — the tape ops here and
+//! the hand-derived TCSS gradients in `tcss-core` — is validated against
+//! central finite differences. This module provides the shared checker.
+
+use crate::params::ParamSet;
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+
+/// Result of one gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f64,
+    /// Largest relative difference (guarded against tiny denominators).
+    pub max_rel_err: f64,
+    /// Number of scalar coordinates checked.
+    pub coords: usize,
+}
+
+impl GradCheckReport {
+    /// Whether both error measures are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err < tol || self.max_rel_err < tol
+    }
+}
+
+/// Check the gradients a model computes for all parameters in `params`.
+///
+/// `forward` must build a fresh graph on the given tape from the current
+/// parameter values and return the scalar loss variable. The checker runs
+/// the analytic backward once, then perturbs every parameter coordinate by
+/// ±`h` and compares with the central difference.
+pub fn check_gradients(
+    params: &mut ParamSet,
+    h: f64,
+    mut forward: impl FnMut(&Tape, &ParamSet) -> Var,
+) -> GradCheckReport {
+    // Analytic pass.
+    params.zero_grads();
+    let tape = Tape::new();
+    let loss = forward(&tape, params);
+    tape.backward(loss);
+    tape.accumulate_param_grads(params);
+    let analytic: Vec<Tensor> = params.ids().map(|id| params.grad(id).clone()).collect();
+
+    let mut max_abs = 0.0f64;
+    let mut max_rel = 0.0f64;
+    let mut coords = 0usize;
+    let ids: Vec<_> = params.ids().collect();
+    for (slot, id) in ids.into_iter().enumerate() {
+        let n = params.value(id).len();
+        for c in 0..n {
+            let orig = params.value(id).data()[c];
+            params.value_mut(id).data_mut()[c] = orig + h;
+            let tape_p = Tape::new();
+            let lp = forward(&tape_p, params);
+            let fp = tape_p.value(lp).item();
+
+            params.value_mut(id).data_mut()[c] = orig - h;
+            let tape_m = Tape::new();
+            let lm = forward(&tape_m, params);
+            let fm = tape_m.value(lm).item();
+
+            params.value_mut(id).data_mut()[c] = orig;
+            let numeric = (fp - fm) / (2.0 * h);
+            let exact = analytic[slot].data()[c];
+            let abs = (numeric - exact).abs();
+            let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            coords += 1;
+        }
+    }
+    params.zero_grads();
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        coords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradcheck_simple_polynomial() {
+        // loss = w² · 3 + w  → dl/dw = 6w + 1.
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::scalar(1.7));
+        let report = check_gradients(&mut params, 1e-5, |tape, ps| {
+            let wv = tape.param(ps, w);
+            let sq = tape.mul(wv, wv);
+            let scaled = tape.scale(sq, 3.0);
+            tape.add(scaled, wv)
+        });
+        assert!(report.passes(1e-6), "{report:?}");
+        assert_eq!(report.coords, 1);
+    }
+
+    #[test]
+    fn gradcheck_mlp_with_all_activations() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut params = ParamSet::new();
+        let l1 = Dense::new(&mut params, "l1", 3, 4, &mut rng);
+        let l2 = Dense::new(&mut params, "l2", 4, 1, &mut rng);
+        let x = Tensor::uniform(&[2, 3], 1.0, &mut rng);
+        let t = Tensor::uniform(&[2, 1], 1.0, &mut rng);
+        let report = check_gradients(&mut params, 1e-5, |tape, ps| {
+            let xv = tape.constant(x.clone());
+            let h = l1.forward(tape, ps, xv, Activation::Tanh);
+            let y = l2.forward(tape, ps, h, Activation::Identity);
+            tape.mse_loss(y, &t)
+        });
+        assert!(report.passes(1e-5), "{report:?}");
+        assert!(report.coords > 15);
+    }
+
+    #[test]
+    fn gradcheck_softmax_attention_like_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = ParamSet::new();
+        let q = params.add("q", Tensor::uniform(&[2, 3], 0.7, &mut rng));
+        let k = params.add("k", Tensor::uniform(&[4, 3], 0.7, &mut rng));
+        let v = params.add("v", Tensor::uniform(&[4, 2], 0.7, &mut rng));
+        let t = Tensor::uniform(&[2, 2], 1.0, &mut rng);
+        let report = check_gradients(&mut params, 1e-5, |tape, ps| {
+            let qv = tape.param(ps, q);
+            let kv = tape.param(ps, k);
+            let vv = tape.param(ps, v);
+            let kt = tape.transpose(kv);
+            let scores = tape.matmul(qv, kt);
+            let scaled = tape.scale(scores, 1.0 / (3.0f64).sqrt());
+            let attn = tape.row_softmax(scaled);
+            let out = tape.matmul(attn, vv);
+            tape.mse_loss(out, &t)
+        });
+        assert!(report.passes(1e-5), "{report:?}");
+    }
+
+    #[test]
+    fn gradcheck_embedding_gather() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut params = ParamSet::new();
+        let table = params.add("e", Tensor::uniform(&[5, 3], 0.5, &mut rng));
+        let t = Tensor::uniform(&[3, 3], 0.5, &mut rng);
+        let report = check_gradients(&mut params, 1e-5, |tape, ps| {
+            let tb = tape.param(ps, table);
+            let rows = tape.gather_rows(tb, &[0, 2, 2]);
+            tape.mse_loss(rows, &t)
+        });
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn gradcheck_bce_and_sigmoid_path() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut params = ParamSet::new();
+        let w = params.add("w", Tensor::uniform(&[3, 1], 0.8, &mut rng));
+        let x = Tensor::uniform(&[4, 3], 1.0, &mut rng);
+        let t = Tensor::from_vec(&[4, 1], vec![1.0, 0.0, 1.0, 0.0]);
+        let report = check_gradients(&mut params, 1e-5, |tape, ps| {
+            let wv = tape.param(ps, w);
+            let xv = tape.constant(x.clone());
+            let logits = tape.matmul(xv, wv);
+            tape.bce_with_logits(logits, &t)
+        });
+        assert!(report.passes(1e-6), "{report:?}");
+    }
+}

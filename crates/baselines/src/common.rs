@@ -1,0 +1,93 @@
+//! Shared helpers for the baseline models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tcss_data::CheckIn;
+use tcss_sparse::SparseTensor3;
+
+/// Sample one unobserved `(i, j, k)` cell (uniform with rejection; gives up
+/// after 32 rejections, which only matters for near-dense toy tensors).
+pub fn sample_negative(
+    tensor: &SparseTensor3,
+    rng: &mut StdRng,
+) -> (usize, usize, usize) {
+    let (i_dim, j_dim, k_dim) = tensor.dims();
+    for _ in 0..32 {
+        let cell = (
+            rng.gen_range(0..i_dim),
+            rng.gen_range(0..j_dim),
+            rng.gen_range(0..k_dim),
+        );
+        if !tensor.contains(cell.0, cell.1, cell.2) {
+            return cell;
+        }
+    }
+    (
+        rng.gen_range(0..i_dim),
+        rng.gen_range(0..j_dim),
+        rng.gen_range(0..k_dim),
+    )
+}
+
+/// Per-user check-in sequences in chronological order (month, then week,
+/// then hour — the only ordering the synthetic timestamps support), used by
+/// the sequence baselines (STRNN/STGN/STAN).
+pub fn user_sequences(checkins: &[CheckIn], n_users: usize) -> Vec<Vec<CheckIn>> {
+    let mut seqs: Vec<Vec<CheckIn>> = vec![Vec::new(); n_users];
+    for c in checkins {
+        seqs[c.user].push(*c);
+    }
+    for s in &mut seqs {
+        s.sort_by_key(|c| (c.month, c.week, c.hour, c.poi));
+    }
+    seqs
+}
+
+/// Coarse "absolute time" of a check-in in hours, for gap features in the
+/// sequence models.
+pub fn time_of(c: &CheckIn) -> f64 {
+    c.week as f64 * 7.0 * 24.0 + c.hour as f64
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn negatives_are_unobserved() {
+        let t = SparseTensor3::from_entries((4, 4, 4), vec![(0, 0, 0, 1.0), (1, 1, 1, 1.0)])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let (i, j, k) = sample_negative(&t, &mut rng);
+            assert!(!t.contains(i, j, k));
+        }
+    }
+
+    #[test]
+    fn sequences_are_chronological() {
+        let cs = vec![
+            CheckIn { user: 0, poi: 1, month: 5, week: 21, hour: 9 },
+            CheckIn { user: 0, poi: 2, month: 1, week: 5, hour: 3 },
+            CheckIn { user: 1, poi: 0, month: 0, week: 0, hour: 0 },
+        ];
+        let seqs = user_sequences(&cs, 2);
+        assert_eq!(seqs[0].len(), 2);
+        assert_eq!(seqs[0][0].poi, 2); // month 1 before month 5
+        assert_eq!(seqs[1].len(), 1);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+}

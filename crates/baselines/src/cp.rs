@@ -1,0 +1,200 @@
+//! CP (CANDECOMP/PARAFAC) tensor completion (paper Eq 1).
+//!
+//! Rank-`r` CP with random initialization, trained by Adam on the squared
+//! error over observed entries plus per-epoch sampled negatives (implicit
+//! feedback needs negatives: observed-only least squares on an all-ones
+//! tensor has the trivial constant solution). Gradients are analytic.
+
+use crate::common::sample_negative;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcss_data::{CheckIn, Dataset, Granularity};
+use tcss_linalg::Matrix;
+use tcss_sparse::SparseTensor3;
+
+/// Configuration shared by the CP and Tucker baselines.
+#[derive(Debug, Clone)]
+pub struct CpConfig {
+    /// Tensor rank.
+    pub rank: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization on the factors.
+    pub reg: f64,
+    /// Sampled negatives per positive per epoch.
+    pub negatives_per_positive: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CpConfig {
+    fn default() -> Self {
+        CpConfig {
+            rank: 10,
+            epochs: 60,
+            learning_rate: 0.02,
+            reg: 1e-4,
+            negatives_per_positive: 2,
+            seed: 5,
+        }
+    }
+}
+
+/// A fitted CP model: three factor matrices.
+pub struct CpModel {
+    u1: Matrix,
+    u2: Matrix,
+    u3: Matrix,
+}
+
+/// Minimal Adam over a flat slice (shared by the multilinear baselines).
+pub(crate) struct FlatAdam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl FlatAdam {
+    pub(crate) fn new(n: usize) -> Self {
+        FlatAdam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    pub(crate) fn step(&mut self, w: &mut [f64], g: &[f64], lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..w.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g[i] * g[i];
+            w[i] -= lr * (self.m[i] / bc1) / ((self.v[i] / bc2).sqrt() + 1e-8);
+        }
+    }
+}
+
+impl CpModel {
+    /// Fit CP on the training tensor.
+    pub fn fit(data: &Dataset, train: &[CheckIn], g: Granularity, cfg: &CpConfig) -> Self {
+        let tensor = data.tensor_from(train, g);
+        Self::fit_tensor(&tensor, cfg)
+    }
+
+    /// Fit CP directly on a sparse tensor.
+    pub fn fit_tensor(tensor: &SparseTensor3, cfg: &CpConfig) -> Self {
+        let (i_dim, j_dim, k_dim) = tensor.dims();
+        let r = cfg.rank;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let s = 1.0 / (r as f64).sqrt();
+        let mut u1 = Matrix::random_uniform(i_dim, r, s, &mut rng);
+        let mut u2 = Matrix::random_uniform(j_dim, r, s, &mut rng);
+        let mut u3 = Matrix::random_uniform(k_dim, r, s, &mut rng);
+        let mut adam1 = FlatAdam::new(i_dim * r);
+        let mut adam2 = FlatAdam::new(j_dim * r);
+        let mut adam3 = FlatAdam::new(k_dim * r);
+        let mut g1 = vec![0.0; i_dim * r];
+        let mut g2 = vec![0.0; j_dim * r];
+        let mut g3 = vec![0.0; k_dim * r];
+        for _epoch in 0..cfg.epochs {
+            g1.iter_mut().for_each(|v| *v = 0.0);
+            g2.iter_mut().for_each(|v| *v = 0.0);
+            g3.iter_mut().for_each(|v| *v = 0.0);
+            let accumulate = |i: usize,
+                                  j: usize,
+                                  k: usize,
+                                  target: f64,
+                                  u1: &Matrix,
+                                  u2: &Matrix,
+                                  u3: &Matrix,
+                                  g1: &mut [f64],
+                                  g2: &mut [f64],
+                                  g3: &mut [f64]| {
+                let (a, b, c) = (u1.row(i), u2.row(j), u3.row(k));
+                let pred: f64 = (0..r).map(|t| a[t] * b[t] * c[t]).sum();
+                let e = 2.0 * (pred - target);
+                for t in 0..r {
+                    g1[i * r + t] += e * b[t] * c[t];
+                    g2[j * r + t] += e * a[t] * c[t];
+                    g3[k * r + t] += e * a[t] * b[t];
+                }
+            };
+            for e in tensor.entries() {
+                accumulate(e.i, e.j, e.k, e.value, &u1, &u2, &u3, &mut g1, &mut g2, &mut g3);
+                for _ in 0..cfg.negatives_per_positive {
+                    let (ni, nj, nk) = sample_negative(tensor, &mut rng);
+                    accumulate(ni, nj, nk, 0.0, &u1, &u2, &u3, &mut g1, &mut g2, &mut g3);
+                }
+            }
+            // L2 regularization.
+            for (g, w) in [(&mut g1, &u1), (&mut g2, &u2), (&mut g3, &u3)] {
+                for (gv, &wv) in g.iter_mut().zip(w.as_slice()) {
+                    *gv += 2.0 * cfg.reg * wv;
+                }
+            }
+            adam1.step(u1.as_mut_slice(), &g1, cfg.learning_rate);
+            adam2.step(u2.as_mut_slice(), &g2, cfg.learning_rate);
+            adam3.step(u3.as_mut_slice(), &g3, cfg.learning_rate);
+        }
+        CpModel { u1, u2, u3 }
+    }
+
+    /// Predicted score (Eq 1).
+    pub fn score(&self, i: usize, j: usize, k: usize) -> f64 {
+        let (a, b, c) = (self.u1.row(i), self.u2.row(j), self.u3.row(k));
+        (0..a.len()).map(|t| a[t] * b[t] * c[t]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A planted rank-1 tensor: X = u ⊗ v ⊗ w with binary pattern.
+    fn planted_tensor() -> SparseTensor3 {
+        let mut entries = Vec::new();
+        for i in 0..6usize {
+            for j in 0..6usize {
+                for k in 0..4usize {
+                    if i % 2 == 0 && j % 2 == 0 && k % 2 == 0 {
+                        entries.push((i, j, k, 1.0));
+                    }
+                }
+            }
+        }
+        SparseTensor3::from_entries((6, 6, 4), entries).unwrap()
+    }
+
+    #[test]
+    fn learns_planted_pattern() {
+        let t = planted_tensor();
+        let cfg = CpConfig {
+            rank: 3,
+            epochs: 150,
+            ..Default::default()
+        };
+        let m = CpModel::fit_tensor(&t, &cfg);
+        // In-pattern cells must clearly outscore out-of-pattern cells.
+        let on = m.score(0, 0, 0);
+        let off = m.score(1, 1, 1);
+        assert!(on > 0.5, "on-pattern score {on}");
+        assert!(on > off + 0.3, "on {on} vs off {off}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = planted_tensor();
+        let cfg = CpConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        let a = CpModel::fit_tensor(&t, &cfg);
+        let b = CpModel::fit_tensor(&t, &cfg);
+        assert_eq!(a.score(0, 0, 0), b.score(0, 0, 0));
+    }
+}

@@ -1,0 +1,51 @@
+//! # tcss-baselines
+//!
+//! Every comparison model from Table I of the TCSS paper, implemented from
+//! scratch on this workspace's substrates:
+//!
+//! | Family | Models | Substrate |
+//! |---|---|---|
+//! | Matrix completion | [`PureSvd`], [`Mcco`] (Soft-Impute solver for the same nuclear-norm objective) | `tcss-linalg` SVD |
+//! | Multilinear tensor completion | [`CpModel`], [`TuckerModel`], [`PTucker`] | analytic gradients / row-wise ALS |
+//! | Neural tensor completion | [`Ncf`], [`Ntm`], [`CoStCo`] | `tcss-autodiff` |
+//! | Spatiotemporal POI recommenders | [`Strnn`], [`Stgn`], [`Stan`] | `tcss-autodiff` sequence models |
+//! | Social-graph recommender | [`Lfbca`] | `tcss-graph` bookmark colouring |
+//!
+//! Each model exposes `fit(…) -> Self` and `score(user, poi, time) -> f64`,
+//! which plugs directly into `tcss_eval::evaluate_ranking`. Matrix models
+//! ignore `time`; LFBCA ignores it too (both per the paper's protocol).
+//!
+//! Models are sized for the synthetic laptop-scale datasets (see
+//! `DESIGN.md` §2 for the faithfulness argument per model).
+
+// Index-based loops are used deliberately throughout this crate: the
+// numeric kernels mirror the paper's subscripted equations, and iterator
+// chains over multiple parallel buffers obscure rather than clarify them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod common;
+pub mod costco;
+pub mod cp;
+pub mod lfbca;
+pub mod mcco;
+pub mod ncf;
+pub mod ntm;
+pub mod ptucker;
+pub mod puresvd;
+pub mod stan;
+pub mod stgn;
+pub mod strnn;
+pub mod tucker;
+
+pub use costco::CoStCo;
+pub use cp::CpModel;
+pub use lfbca::Lfbca;
+pub use mcco::Mcco;
+pub use ncf::Ncf;
+pub use ntm::Ntm;
+pub use ptucker::PTucker;
+pub use puresvd::PureSvd;
+pub use stan::Stan;
+pub use stgn::Stgn;
+pub use strnn::Strnn;
+pub use tucker::TuckerModel;

@@ -1,0 +1,137 @@
+//! Contract tests every baseline must satisfy: fit without panicking on a
+//! shared dataset, produce finite scores for all (i, j, k), and beat a
+//! constant scorer under the paper's protocol. This is the safety net that
+//! keeps Table I comparisons meaningful.
+
+use tcss_baselines::{
+    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig,
+    ptucker::PTuckerConfig, CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn,
+    Strnn, TuckerModel,
+};
+use tcss_data::{preprocess, train_test_split, Dataset, Granularity, PreprocessConfig, Split, SynthPreset};
+use tcss_eval::{evaluate_ranking, EvalConfig};
+
+fn shared() -> (Dataset, Split) {
+    let raw = SynthPreset::Gmu5k.generate();
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let split = train_test_split(&data.checkins, data.n_users, 0.8, 11);
+    (data, split)
+}
+
+/// Fast-training configs for contract testing.
+fn fast_neural() -> NeuralConfig {
+    NeuralConfig {
+        epochs: 4,
+        dim: 6,
+        ..Default::default()
+    }
+}
+
+fn fast_cp() -> CpConfig {
+    CpConfig {
+        epochs: 25,
+        ..Default::default()
+    }
+}
+
+fn check_contract(name: &str, data: &Dataset, split: &Split, score: impl Fn(usize, usize, usize) -> f64) {
+    // Finite everywhere (sampled).
+    for i in (0..data.n_users).step_by(13) {
+        for j in (0..data.n_pois()).step_by(17) {
+            for k in [0usize, 6, 11] {
+                let s = score(i, j, k);
+                assert!(s.is_finite(), "{name}: non-finite score at ({i},{j},{k})");
+            }
+        }
+    }
+    // Better than constant (which scores 0 hits under pessimistic ties).
+    let m = evaluate_ranking(&split.test, data.n_pois(), &EvalConfig::default(), &score);
+    assert!(
+        m.hit_at_k > 0.12,
+        "{name}: Hit@10 {} not clearly above chance",
+        m.hit_at_k
+    );
+}
+
+#[test]
+fn contract_matrix_completion_models() {
+    let (data, split) = shared();
+    let svd = PureSvd::fit(&data, &split.train, 10);
+    check_contract("PureSVD", &data, &split, |i, j, k| svd.score(i, j, k));
+    let mcco = Mcco::fit(
+        &data,
+        &split.train,
+        &MccoConfig {
+            iters: 6,
+            ..Default::default()
+        },
+    );
+    check_contract("MCCO", &data, &split, |i, j, k| mcco.score(i, j, k));
+}
+
+#[test]
+fn contract_multilinear_models() {
+    let (data, split) = shared();
+    let cp = CpModel::fit(&data, &split.train, Granularity::Month, &fast_cp());
+    check_contract("CP", &data, &split, |i, j, k| cp.score(i, j, k));
+    let tucker = TuckerModel::fit(&data, &split.train, Granularity::Month, &fast_cp());
+    check_contract("Tucker", &data, &split, |i, j, k| tucker.score(i, j, k));
+    let pt = PTucker::fit(
+        &data,
+        &split.train,
+        Granularity::Month,
+        &PTuckerConfig {
+            sweeps: 4,
+            ..Default::default()
+        },
+    );
+    check_contract("P-Tucker", &data, &split, |i, j, k| pt.score(i, j, k));
+}
+
+#[test]
+fn contract_neural_models() {
+    let (data, split) = shared();
+    let ncf = Ncf::fit(&data, &split.train, Granularity::Month, &fast_neural());
+    check_contract("NCF", &data, &split, |i, j, k| ncf.score(i, j, k));
+    let ntm = Ntm::fit(&data, &split.train, Granularity::Month, &fast_neural());
+    check_contract("NTM", &data, &split, |i, j, k| ntm.score(i, j, k));
+    let costco = CoStCo::fit(&data, &split.train, Granularity::Month, &fast_neural());
+    check_contract("CoSTCo", &data, &split, |i, j, k| costco.score(i, j, k));
+}
+
+#[test]
+fn contract_sequence_models() {
+    let (data, split) = shared();
+    let cfg = NeuralConfig {
+        epochs: 2,
+        dim: 6,
+        ..Default::default()
+    };
+    let strnn = Strnn::fit(&data, &split.train, Granularity::Month, &cfg);
+    check_contract("STRNN", &data, &split, |i, j, k| strnn.score(i, j, k));
+    let stgn = Stgn::fit(&data, &split.train, Granularity::Month, &cfg);
+    check_contract("STGN", &data, &split, |i, j, k| stgn.score(i, j, k));
+    let stan = Stan::fit(&data, &split.train, Granularity::Month, &cfg);
+    check_contract("STAN", &data, &split, |i, j, k| stan.score(i, j, k));
+}
+
+#[test]
+fn contract_graph_model() {
+    let (data, split) = shared();
+    let lfbca = Lfbca::fit(&data, &split.train, &LfbcaConfig::default());
+    check_contract("LFBCA", &data, &split, |i, j, k| lfbca.score(i, j, k));
+}
+
+#[test]
+fn matrix_models_ignore_time_sequence_models_use_it() {
+    let (data, split) = shared();
+    let svd = PureSvd::fit(&data, &split.train, 8);
+    assert_eq!(svd.score(0, 1, 0), svd.score(0, 1, 7));
+    let lfbca = Lfbca::fit(&data, &split.train, &LfbcaConfig::default());
+    assert_eq!(lfbca.score(0, 1, 0), lfbca.score(0, 1, 7));
+    // Tensor models differentiate time units for at least some cells.
+    let cp = CpModel::fit(&data, &split.train, Granularity::Month, &fast_cp());
+    let differs = (0..data.n_users.min(20))
+        .any(|i| (cp.score(i, 0, 0) - cp.score(i, 0, 6)).abs() > 1e-9);
+    assert!(differs, "CP never differentiates time units");
+}

@@ -1,0 +1,35 @@
+//! Criterion microbenchmark: one full evaluation of the social-Hausdorff
+//! head (loss + gradients over all users) on the Gowalla training split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcss_bench::prepare;
+use tcss_core::{Grads, SocialHausdorffHead, TcssConfig, TcssTrainer};
+use tcss_core::config::HausdorffVariant;
+use tcss_data::SynthPreset;
+
+fn bench_hausdorff(c: &mut Criterion) {
+    let p = prepare(SynthPreset::Gowalla);
+    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let model = trainer.init_model();
+    let head = SocialHausdorffHead::new(
+        &p.data,
+        &p.split.train,
+        HausdorffVariant::Social,
+        Default::default(),
+        None,
+    );
+    let mut group = c.benchmark_group("social_hausdorff");
+    group.sample_size(10);
+    group.bench_function("loss_only", |b| b.iter(|| black_box(head.loss(&model))));
+    group.bench_function("loss_and_grad", |b| {
+        b.iter(|| {
+            let mut grads = Grads::zeros(&model);
+            black_box(head.loss_and_grad(&model, &mut grads, 0.1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hausdorff);
+criterion_main!(benches);

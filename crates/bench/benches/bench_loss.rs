@@ -1,0 +1,47 @@
+//! Criterion microbenchmark behind Table IV: per-epoch cost of the three
+//! L2 strategies (naive Eq 14, negative sampling, rewritten Eq 15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcss_bench::prepare;
+use tcss_core::{
+    naive_whole_data_loss, negative_sampling_loss_and_grad, rewritten_loss_and_grad, TcssConfig,
+    TcssTrainer,
+};
+use tcss_data::SynthPreset;
+
+fn bench_loss(c: &mut Criterion) {
+    let p = prepare(SynthPreset::Gowalla);
+    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let model = trainer.init_model();
+    let mut group = c.benchmark_group("l2_loss");
+    group.sample_size(10);
+    group.bench_function("naive_eq14", |b| {
+        b.iter(|| black_box(naive_whole_data_loss(&model, &trainer.tensor, 0.9, 0.1)))
+    });
+    group.bench_function("negative_sampling", |b| {
+        b.iter(|| {
+            black_box(negative_sampling_loss_and_grad(
+                &model,
+                &trainer.tensor,
+                0.9,
+                0.1,
+                1,
+            ))
+        })
+    });
+    group.bench_function("rewritten_eq15", |b| {
+        b.iter(|| {
+            black_box(rewritten_loss_and_grad(
+                &model,
+                trainer.tensor.entries(),
+                0.9,
+                0.1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss);
+criterion_main!(benches);

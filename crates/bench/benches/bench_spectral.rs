@@ -1,0 +1,26 @@
+//! Criterion microbenchmark: spectral initialization (matrix-free blocked
+//! orthogonal iteration over the off-diagonal Gram operators) vs the
+//! trivial initializations, on the Gowalla training tensor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcss_bench::prepare;
+use tcss_core::{onehot_init, random_init, spectral_init};
+use tcss_data::SynthPreset;
+
+fn bench_spectral(c: &mut Criterion) {
+    let p = prepare(SynthPreset::Gowalla);
+    let tensor = p.data.tensor_from(&p.split.train, p.granularity);
+    let dims = tensor.dims();
+    let mut group = c.benchmark_group("initialization");
+    group.sample_size(10);
+    group.bench_function("spectral", |b| {
+        b.iter(|| black_box(spectral_init(&tensor, 10, 1)))
+    });
+    group.bench_function("random", |b| b.iter(|| black_box(random_init(dims, 10, 1))));
+    group.bench_function("one_hot", |b| b.iter(|| black_box(onehot_init(dims, 10, 1))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 10 — effect of the tensor rank `r` (embedding length) on all
+//! four dataset presets.
+//!
+//! Paper shape to reproduce: performance grows with `r` up to the cap
+//! (`r = 10 < K = 12` at month granularity, limited by the eigenvector
+//! computation as the paper notes).
+
+use tcss_bench::{prepare, run_tcss};
+use tcss_core::TcssConfig;
+use tcss_data::SynthPreset;
+
+fn main() {
+    println!("=== Fig 10: effect of tensor rank r ===");
+    for preset in SynthPreset::ALL {
+        let p = prepare(preset);
+        println!("\n--- {} ---", p.label);
+        println!("{:>4} {:>8} {:>8}", "r", "Hit@10", "MRR");
+        for r in [2usize, 4, 6, 8, 10] {
+            let cfg = TcssConfig {
+                rank: r,
+                ..Default::default()
+            };
+            let res = run_tcss(&p, cfg);
+            println!("{:>4} {:>8.4} {:>8.4}", r, res.metrics.hit_at_k, res.metrics.mrr);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 11 — effect of the social-Hausdorff weight `λ` on all presets.
+//!
+//! Paper shape to reproduce: performance improves as λ grows toward an
+//! intermediate optimum and degrades past it (the social regularizer must
+//! not overwhelm the reconstruction loss).
+//!
+//! λ values here are on the *normalized-distance* scale (divide by the map
+//! extent d_max ≈ 1200 km to compare with the paper's raw-km λ: our 120 ↔
+//! their 0.1).
+
+use tcss_bench::{prepare, run_tcss};
+use tcss_core::TcssConfig;
+use tcss_data::SynthPreset;
+
+fn main() {
+    println!("=== Fig 11: effect of lambda (social Hausdorff weight) ===");
+    for preset in SynthPreset::ALL {
+        let p = prepare(preset);
+        println!("\n--- {} ---", p.label);
+        println!("{:>8} {:>8} {:>8}", "lambda", "Hit@10", "MRR");
+        for lambda in [0.0, 30.0, 120.0, 240.0, 480.0, 1200.0] {
+            let cfg = TcssConfig {
+                lambda,
+                ..Default::default()
+            };
+            let res = run_tcss(&p, cfg);
+            println!(
+                "{:>8} {:>8.4} {:>8.4}",
+                lambda, res.metrics.hit_at_k, res.metrics.mrr
+            );
+        }
+    }
+}

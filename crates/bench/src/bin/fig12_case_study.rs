@@ -1,0 +1,138 @@
+//! Figure 12 — case study: geographic distribution of the top-100 and
+//! top-200 recommended POIs for a sample user (Gowalla preset).
+//!
+//! The paper plots the POIs on a map; we report the equivalent statistics:
+//! the top-100 POIs cluster in small areas (Tobler's law), while the
+//! top-200 spread over a wider area (diversity further down the list).
+
+use tcss_bench::prepare;
+use tcss_core::{TcssConfig, TcssTrainer};
+use tcss_data::SynthPreset;
+use tcss_eval::{catalogue_coverage, exposure_gini, intra_list_distance, mean_novelty};
+use tcss_geo::{entropy_weights, haversine_km, GeoPoint};
+
+fn spread_stats(points: &[GeoPoint]) -> (f64, f64) {
+    // (mean distance to centroid, radius containing 90% of points)
+    let n = points.len() as f64;
+    let centroid = GeoPoint::new(
+        points.iter().map(|p| p.lon).sum::<f64>() / n,
+        points.iter().map(|p| p.lat).sum::<f64>() / n,
+    );
+    let mut dists: Vec<f64> = points.iter().map(|p| haversine_km(centroid, *p)).collect();
+    let mean = dists.iter().sum::<f64>() / n;
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p90 = dists[((dists.len() as f64 * 0.9) as usize).min(dists.len() - 1)];
+    (mean, p90)
+}
+
+fn main() {
+    let p = prepare(SynthPreset::Gowalla);
+    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let model = trainer.train(|_, _| {});
+
+    // All-POI reference spread.
+    let all_points: Vec<GeoPoint> = p.data.pois.iter().map(|poi| poi.location).collect();
+    let (all_mean, all_p90) = spread_stats(&all_points);
+    println!("=== Fig 12: case study — geographic spread of recommendations ===");
+    println!(
+        "all {} POIs:       mean-dist-to-centroid {:>7.1} km, 90% radius {:>7.1} km",
+        all_points.len(),
+        all_mean,
+        all_p90
+    );
+
+    // Per-user history distances: visited POIs from the training split.
+    let mut visited: Vec<Vec<usize>> = vec![Vec::new(); p.data.n_users];
+    for c in &p.split.train {
+        visited[c.user].push(c.poi);
+    }
+    let dist = p.data.distance_matrix();
+
+    // A few sample users at a fixed time unit.
+    for (user, time) in [(3usize, 6usize), (17, 0), (42, 9)] {
+        // Top-20 plays the paper's "top-100" role: our catalogue is ~20x
+        // smaller, so the same *fraction* of the catalogue is compared.
+        let top200 = model.recommend(user, time, 200);
+        let pts = |n: usize| -> Vec<GeoPoint> {
+            top200
+                .iter()
+                .take(n)
+                .map(|&(j, _)| p.data.pois[j].location)
+                .collect()
+        };
+        let (m20, p20) = spread_stats(&pts(20.min(top200.len())));
+        let (m100, p100) = spread_stats(&pts(100.min(top200.len())));
+        println!("\nuser {user}, time unit {time}:");
+        println!("  top-20:  mean-dist-to-centroid {m20:>7.1} km, 90% radius {p20:>7.1} km");
+        println!("  top-100: mean-dist-to-centroid {m100:>7.1} km, 90% radius {p100:>7.1} km");
+        println!(
+            "  clustering vs catalogue: top-20 spread is {:.0}% of the all-POI spread",
+            100.0 * m20 / all_mean
+        );
+        // Tobler's law, measured against the user's own history: median
+        // distance from each recommended POI to the nearest POI the user
+        // already visits, vs the same statistic for the whole catalogue.
+        let median_to_history = |pois: &[usize]| -> f64 {
+            let mut ds: Vec<f64> = pois
+                .iter()
+                .filter_map(|&j| dist.min_to_set(j, &visited[user]))
+                .collect();
+            ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            if ds.is_empty() { 0.0 } else { ds[ds.len() / 2] }
+        };
+        let top20: Vec<usize> = top200.iter().take(20).map(|&(j, _)| j).collect();
+        let catalogue: Vec<usize> = (0..p.data.n_pois()).collect();
+        let near = median_to_history(&top20);
+        let base = median_to_history(&catalogue);
+        println!(
+            "  median distance to own history: top-20 {near:.1} km vs catalogue {base:.1} km              ({:.0}%)",
+            100.0 * near / base.max(1e-9)
+        );
+        // Print the top-10 with coordinates (the "red points" of Fig 12a).
+        println!("  top-10 POIs (lon, lat, score):");
+        for &(j, s) in top200.iter().take(10) {
+            let loc = p.data.pois[j].location;
+            println!("    poi {j:>4}  ({:>9.4}, {:>8.4})  {s:>7.4}", loc.lon, loc.lat);
+        }
+    }
+
+    // Diversity effect of the entropy-weighted social head: compare the
+    // full model's top-10 lists against the λ = 0 variant.
+    println!("\n--- diversity of top-10 lists (all users, month 6) ---");
+    let no_l1 = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig {
+            lambda: 0.0,
+            hausdorff: tcss_core::HausdorffVariant::None,
+            ..Default::default()
+        },
+    )
+    .train(|_, _| {});
+    let entropy = p.data.location_entropy_from(&p.split.train);
+    let e_weights = entropy_weights(&entropy);
+    let locations: Vec<GeoPoint> = p.data.pois.iter().map(|poi| poi.location).collect();
+    for (name, m) in [("full TCSS", &model), ("λ=0", &no_l1)] {
+        let lists: Vec<Vec<usize>> = (0..p.data.n_users)
+            .map(|u| m.recommend(u, 6, 10).into_iter().map(|(j, _)| j).collect())
+            .collect();
+        let ild: f64 = lists
+            .iter()
+            .map(|l| intra_list_distance(l, &locations))
+            .sum::<f64>()
+            / lists.len() as f64;
+        let nov: f64 = lists
+            .iter()
+            .map(|l| mean_novelty(l, &e_weights))
+            .sum::<f64>()
+            / lists.len() as f64;
+        println!(
+            "{name:<10} coverage {:.3}  exposure-gini {:.3}  intra-list-dist {:.1} km  novelty {:.4}",
+            catalogue_coverage(&lists, p.data.n_pois()),
+            exposure_gini(&lists, p.data.n_pois()),
+            ild,
+            nov
+        );
+    }
+}

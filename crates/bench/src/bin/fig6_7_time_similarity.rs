@@ -1,0 +1,110 @@
+//! Figures 6 & 7 — cosine-similarity heatmaps of the learned time factors.
+//!
+//! Fig 6: similarity between time units at month / week / hour granularity
+//! (shopping category). Fig 7: month-factor similarity per POI category.
+//!
+//! Paper shape to reproduce: month factors form seasonal blocks (adjacent
+//! months similar); weekly/hourly factors show weaker block structure; the
+//! food category shows the weakest seasonal blocks.
+
+use tcss_bench::prepare_dataset;
+use tcss_core::{TcssConfig, TcssTrainer};
+use tcss_data::{preprocess, Category, Granularity, PreprocessConfig, SynthPreset};
+use tcss_linalg::cosine_similarity_matrix;
+
+fn train_time_factors(
+    data: &tcss_data::Dataset,
+    g: Granularity,
+) -> tcss_linalg::Matrix {
+    let p = prepare_dataset("slice", data.clone(), g);
+    let trainer = TcssTrainer::new(&p.data, &p.split.train, g, TcssConfig::default());
+    let model = trainer.train(|_, _| {});
+    model.u3
+}
+
+fn print_heatmap(title: &str, m: &tcss_linalg::Matrix) {
+    println!("\n{title}");
+    let n = m.rows();
+    // For wide matrices (week=53, hour=24) print a coarse 12-bucket view.
+    let buckets = n.min(12);
+    let per = n.div_ceil(buckets);
+    print!("      ");
+    for b in 0..buckets {
+        print!("{:>6}", b * per);
+    }
+    println!();
+    for bi in 0..buckets {
+        print!("{:>5} ", bi * per);
+        for bj in 0..buckets {
+            // Average similarity within the bucket pair.
+            let mut acc = 0.0f64;
+            let mut cnt = 0.0f64;
+            for i in (bi * per)..((bi + 1) * per).min(n) {
+                for j in (bj * per)..((bj + 1) * per).min(n) {
+                    acc += m.get(i, j);
+                    cnt += 1.0;
+                }
+            }
+            print!("{:>6.2}", acc / cnt.max(1.0));
+        }
+        println!();
+    }
+    // Block-structure score: mean |similarity| of adjacent units minus
+    // non-adjacent ones (higher ⇒ stronger seasonal blocks).
+    let mut adj = 0.0f64;
+    let mut adj_n = 0.0f64;
+    let mut far = 0.0f64;
+    let mut far_n = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let circ = (i as i64 - j as i64).unsigned_abs() as usize;
+            let d = circ.min(n - circ);
+            if d <= n / 12 + 1 {
+                adj += m.get(i, j);
+                adj_n += 1.0;
+            } else if d >= n / 3 {
+                far += m.get(i, j);
+                far_n += 1.0;
+            }
+        }
+    }
+    println!(
+        "seasonal block score (adjacent − distant mean similarity): {:+.4}",
+        adj / adj_n.max(1.0) - far / far_n.max(1.0)
+    );
+}
+
+fn main() {
+    let raw = SynthPreset::Gowalla.generate();
+
+    println!("=== Fig 6: time-factor cosine similarity by granularity (shopping) ===");
+    let shopping = preprocess(
+        &raw.filter_category(Category::Shopping),
+        &PreprocessConfig {
+            min_checkins: 5,
+            ..Default::default()
+        },
+    );
+    for g in [Granularity::Month, Granularity::Week, Granularity::Hour] {
+        let u3 = train_time_factors(&shopping, g);
+        let sim = cosine_similarity_matrix(&u3);
+        print_heatmap(&format!("--- granularity: {} (K = {}) ---", g.label(), g.len()), &sim);
+    }
+
+    println!("\n=== Fig 7: month-factor similarity by category ===");
+    for cat in Category::ALL {
+        let data = preprocess(
+            &raw.filter_category(cat),
+            &PreprocessConfig {
+                min_checkins: 5,
+                ..Default::default()
+            },
+        );
+        let u3 = train_time_factors(&data, Granularity::Month);
+        let sim = cosine_similarity_matrix(&u3);
+        print_heatmap(&format!("--- category: {} ---", cat.label()), &sim);
+    }
+}

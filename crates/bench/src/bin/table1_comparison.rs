@@ -1,0 +1,57 @@
+//! Table I — results comparison: Hit@10 / MRR of all 13 models on the four
+//! dataset presets.
+//!
+//! Paper shape to reproduce: tensor completion > matrix completion and the
+//! predictive spatiotemporal baselines; TCSS best everywhere; Yelp (the
+//! sparsest preset) hardest; P-Tucker / NCF / CoSTCo the strongest
+//! baselines.
+
+use tcss_bench::{prepare, row, run_model, ModelName};
+use tcss_data::SynthPreset;
+
+fn main() {
+    // Optionally restrict to a subset of models/presets via args, e.g.
+    // `table1_comparison TCSS P-Tucker` or `table1_comparison --preset Gowalla`.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut presets: Vec<SynthPreset> = SynthPreset::ALL.to_vec();
+    let mut model_filter: Vec<ModelName> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--preset" {
+            if let Some(p) = it.next() {
+                presets = SynthPreset::ALL
+                    .into_iter()
+                    .filter(|x| x.label().eq_ignore_ascii_case(p))
+                    .collect();
+            }
+        } else if let Some(m) = ModelName::ALL
+            .into_iter()
+            .find(|m| m.label().eq_ignore_ascii_case(a))
+        {
+            model_filter.push(m);
+        }
+    }
+    let models = if model_filter.is_empty() {
+        ModelName::ALL.to_vec()
+    } else {
+        model_filter
+    };
+
+    println!("=== Table I: Results Comparison (Hit@10 / MRR) ===");
+    for preset in presets {
+        let p = prepare(preset);
+        println!(
+            "\n--- {} ({} users, {} POIs, {} train / {} test check-ins) ---",
+            p.label,
+            p.data.n_users,
+            p.data.n_pois(),
+            p.split.train.len(),
+            p.split.test.len()
+        );
+        println!("{:<10} {:>8} {:>8}", "Model", "Hit@10", "MRR");
+        for m in &models {
+            let r = run_model(*m, &p);
+            println!("{}", row(&r));
+        }
+    }
+}

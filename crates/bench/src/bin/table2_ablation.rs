@@ -1,0 +1,44 @@
+//! Table II — ablation study: TCSS variants on all four dataset presets.
+//!
+//! Paper shape to reproduce: the full-fledged TCSS beats every variant;
+//! negative sampling loses the most MRR; removing `L₁` (λ = 0),
+//! Self-Hausdorff and Zero-out each cost accuracy; spectral initialization
+//! beats random and one-hot.
+
+use tcss_bench::{prepare, run_tcss};
+use tcss_core::TcssConfig;
+use tcss_data::SynthPreset;
+
+type VariantFactory = fn() -> TcssConfig;
+
+fn main() {
+    let variants: [(&str, VariantFactory); 7] = [
+        ("Random initialization", TcssConfig::ablation_random_init),
+        ("One-hot initialization", TcssConfig::ablation_onehot_init),
+        ("Remove L1 (lambda=0)", TcssConfig::ablation_no_l1),
+        ("Negative sampling", TcssConfig::ablation_negative_sampling),
+        ("Self-Hausdorff", TcssConfig::ablation_self_hausdorff),
+        ("Zero-out", TcssConfig::ablation_zero_out),
+        ("Full-Fledged TCSS", TcssConfig::full),
+    ];
+    let presets: Vec<SynthPreset> = match std::env::args().nth(1) {
+        Some(p) => SynthPreset::ALL
+            .into_iter()
+            .filter(|x| x.label().eq_ignore_ascii_case(&p))
+            .collect(),
+        None => SynthPreset::ALL.to_vec(),
+    };
+    println!("=== Table II: Ablation Study (Hit@10 / MRR) ===");
+    for preset in presets {
+        let p = prepare(preset);
+        println!("\n--- {} ---", p.label);
+        println!("{:<24} {:>8} {:>8}", "Model Variant", "Hit@10", "MRR");
+        for (name, cfg) in &variants {
+            let r = run_tcss(&p, cfg());
+            println!(
+                "{:<24} {:>8.4} {:>8.4}",
+                name, r.metrics.hit_at_k, r.metrics.mrr
+            );
+        }
+    }
+}

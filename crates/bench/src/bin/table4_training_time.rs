@@ -1,0 +1,84 @@
+//! Table IV — training time of one epoch of the `L₂` head, three ways:
+//!
+//! 1. the original whole-data loss evaluated naively (Eq 14, `O(I·J·K·r)`),
+//! 2. negative sampling (positives + as many sampled negatives),
+//! 3. the rewritten whole-data loss (Eq 15, `O(nnz·r + (I+J+K)r²)`).
+//!
+//! Paper shape to reproduce: naive ≫ negative sampling ≫ rewritten, by
+//! orders of magnitude (the paper reports ~10⁵ s vs ~30 s vs ~0.15 s; our
+//! tensors are smaller so absolute numbers shrink, the ordering and the
+//! relative gaps in complexity remain).
+
+use std::time::Instant;
+use tcss_bench::prepare;
+use tcss_core::{naive_whole_data_loss, negative_sampling_loss_and_grad, rewritten_loss_and_grad};
+use tcss_data::SynthPreset;
+
+fn main() {
+    println!("=== Table IV: Training Time (one epoch of L2) ===");
+    println!(
+        "{:<28} {:>14} {:>14} {:>14}",
+        "Method", "Gowalla", "Yelp", "Foursquare"
+    );
+    let presets = [SynthPreset::Gowalla, SynthPreset::Yelp, SynthPreset::Foursquare];
+    let prepared: Vec<_> = presets.iter().map(|&pr| {
+        let p = prepare(pr);
+        let trainer = tcss_core::TcssTrainer::new(
+            &p.data,
+            &p.split.train,
+            p.granularity,
+            tcss_core::TcssConfig::default(),
+        );
+        let model = trainer.init_model();
+        (trainer, model)
+    }).collect();
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        // Median of 5 runs.
+        let mut times: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times[2]
+    };
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (label, which) in [
+        ("Original Loss: Eq (14)", 0),
+        ("Negative Sampling", 1),
+        ("Rewritten Loss: Eq (15)", 2),
+    ] {
+        let mut cols = Vec::new();
+        for (trainer, model) in &prepared {
+            let t = match which {
+                0 => time(&mut || {
+                    let _ = naive_whole_data_loss(model, &trainer.tensor, 0.9, 0.1);
+                }),
+                1 => time(&mut || {
+                    let _ = negative_sampling_loss_and_grad(model, &trainer.tensor, 0.9, 0.1, 1);
+                }),
+                _ => time(&mut || {
+                    let _ = rewritten_loss_and_grad(model, trainer.tensor.entries(), 0.9, 0.1);
+                }),
+            };
+            cols.push(t);
+        }
+        rows.push((label.to_string(), cols));
+    }
+    for (label, cols) in &rows {
+        println!(
+            "{:<28} {:>12.6}s {:>12.6}s {:>12.6}s",
+            label, cols[0], cols[1], cols[2]
+        );
+    }
+    // Speedup summary (naive / rewritten), the headline of the table.
+    let speedups: Vec<f64> = (0..3).map(|c| rows[0].1[c] / rows[2].1[c]).collect();
+    println!(
+        "\nnaive/rewritten speedup: {:.0}x / {:.0}x / {:.0}x",
+        speedups[0], speedups[1], speedups[2]
+    );
+}

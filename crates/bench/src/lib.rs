@@ -1,0 +1,16 @@
+//! # tcss-bench
+//!
+//! The experiment harness: one binary per table/figure of the TCSS paper
+//! (see `DESIGN.md` §4 for the index) plus Criterion microbenchmarks.
+//!
+//! Run an experiment with
+//! `cargo run --release -p tcss-bench --bin <name>`; every binary prints
+//! the rows/series of its table or figure to stdout. `EXPERIMENTS.md`
+//! records the outputs next to the paper's numbers.
+
+pub mod runner;
+
+pub use runner::{
+    prepare, prepare_dataset, prepare_with, row, run_model, run_tcss, ModelName, ModelResult,
+    Prepared,
+};

@@ -1,0 +1,282 @@
+//! Shared experiment plumbing: dataset preparation and the fit-and-evaluate
+//! driver for every model in Table I.
+
+use std::time::Instant;
+use tcss_baselines::{
+    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig,
+    ptucker::PTuckerConfig, CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn,
+    Strnn, TuckerModel,
+};
+use tcss_core::{TcssConfig, TcssTrainer};
+use tcss_data::{
+    preprocess, train_test_split, Dataset, Granularity, PreprocessConfig, Split, SynthPreset,
+};
+use tcss_eval::{evaluate_ranking, EvalConfig, RankingMetrics};
+
+/// A preprocessed dataset with its train/test split and eval protocol.
+pub struct Prepared {
+    /// Preset label (for printing).
+    pub label: &'static str,
+    /// Preprocessed dataset.
+    pub data: Dataset,
+    /// 80/20 per-user split.
+    pub split: Split,
+    /// Granularity (month unless an experiment overrides it).
+    pub granularity: Granularity,
+    /// Eval protocol.
+    pub eval: EvalConfig,
+}
+
+/// Generate, preprocess and split a preset.
+pub fn prepare(preset: SynthPreset) -> Prepared {
+    prepare_with(preset, Granularity::Month)
+}
+
+/// Generate, preprocess and split a preset at a chosen granularity.
+pub fn prepare_with(preset: SynthPreset, granularity: Granularity) -> Prepared {
+    let raw = preset.generate();
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let split = train_test_split(&data.checkins, data.n_users, 0.8, 42);
+    Prepared {
+        label: preset.label(),
+        data,
+        split,
+        granularity,
+        eval: EvalConfig {
+            granularity,
+            ..Default::default()
+        },
+    }
+}
+
+/// Prepare an explicit dataset (already generated/filtered) without
+/// additional preprocessing — used by the per-category experiments.
+pub fn prepare_dataset(
+    label: &'static str,
+    data: Dataset,
+    granularity: Granularity,
+) -> Prepared {
+    let split = train_test_split(&data.checkins, data.n_users, 0.8, 42);
+    Prepared {
+        label,
+        data,
+        split,
+        granularity,
+        eval: EvalConfig {
+            granularity,
+            ..Default::default()
+        },
+    }
+}
+
+/// Every model of Table I (plus TCSS itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelName {
+    /// Nuclear-norm matrix completion (Soft-Impute solver).
+    Mcco,
+    /// Truncated-SVD matrix completion.
+    PureSvd,
+    /// Spatial-temporal RNN.
+    Strnn,
+    /// Spatio-temporal attention network.
+    Stan,
+    /// Spatio-temporal gated LSTM.
+    Stgn,
+    /// Location-friendship bookmark colouring.
+    Lfbca,
+    /// CP decomposition.
+    Cp,
+    /// Tucker decomposition.
+    Tucker,
+    /// Row-wise ALS Tucker.
+    PTucker,
+    /// Neural collaborative filtering.
+    Ncf,
+    /// Neural tensor machine.
+    Ntm,
+    /// Convolutional tensor completion.
+    CoStCo,
+    /// The paper's model.
+    Tcss,
+}
+
+impl ModelName {
+    /// Table I's presentation order.
+    pub const ALL: [ModelName; 13] = [
+        ModelName::Mcco,
+        ModelName::PureSvd,
+        ModelName::Strnn,
+        ModelName::Stan,
+        ModelName::Stgn,
+        ModelName::Lfbca,
+        ModelName::Cp,
+        ModelName::Tucker,
+        ModelName::PTucker,
+        ModelName::Ncf,
+        ModelName::Ntm,
+        ModelName::CoStCo,
+        ModelName::Tcss,
+    ];
+
+    /// Printable name matching the paper's table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelName::Mcco => "MCCO",
+            ModelName::PureSvd => "PureSVD",
+            ModelName::Strnn => "STRNN",
+            ModelName::Stan => "STAN",
+            ModelName::Stgn => "STGN",
+            ModelName::Lfbca => "LFBCA",
+            ModelName::Cp => "CP",
+            ModelName::Tucker => "Tucker",
+            ModelName::PTucker => "P-Tucker",
+            ModelName::Ncf => "NCF",
+            ModelName::Ntm => "NTM",
+            ModelName::CoStCo => "CoSTCo",
+            ModelName::Tcss => "TCSS",
+        }
+    }
+}
+
+/// One model's evaluation on one dataset.
+#[derive(Debug, Clone)]
+pub struct ModelResult {
+    /// Model identifier.
+    pub model: ModelName,
+    /// Ranking metrics under the paper's protocol.
+    pub metrics: RankingMetrics,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+}
+
+/// Fit a model on the prepared split and evaluate it.
+pub fn run_model(name: ModelName, p: &Prepared) -> ModelResult {
+    let start = Instant::now();
+    let score: Box<dyn Fn(usize, usize, usize) -> f64> = match name {
+        ModelName::Mcco => {
+            let m = Mcco::fit(&p.data, &p.split.train, &MccoConfig::default());
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::PureSvd => {
+            let m = PureSvd::fit(&p.data, &p.split.train, 10);
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Strnn => {
+            let m = Strnn::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Stan => {
+            let m = Stan::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Stgn => {
+            let m = Stgn::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Lfbca => {
+            let m = Lfbca::fit(&p.data, &p.split.train, &LfbcaConfig::default());
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Cp => {
+            let m = CpModel::fit(&p.data, &p.split.train, p.granularity, &CpConfig::default());
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Tucker => {
+            let m = TuckerModel::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &CpConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::PTucker => {
+            let m = PTucker::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &PTuckerConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Ncf => {
+            let m = Ncf::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Ntm => {
+            let m = Ntm::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::CoStCo => {
+            let m = CoStCo::fit(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                &NeuralConfig::default(),
+            );
+            Box::new(move |i, j, k| m.score(i, j, k))
+        }
+        ModelName::Tcss => return run_tcss(p, TcssConfig::default()),
+    };
+    let train_secs = start.elapsed().as_secs_f64();
+    let metrics = evaluate_ranking(&p.split.test, p.data.n_pois(), &p.eval, |i, j, k| {
+        score(i, j, k)
+    });
+    ModelResult {
+        model: name,
+        metrics,
+        train_secs,
+    }
+}
+
+/// Fit and evaluate TCSS under an arbitrary configuration (the ablation and
+/// sweep experiments reuse this).
+pub fn run_tcss(p: &Prepared, config: TcssConfig) -> ModelResult {
+    let start = Instant::now();
+    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, config);
+    let model = trainer.train(|_, _| {});
+    let train_secs = start.elapsed().as_secs_f64();
+    let score = trainer.score_fn(&model);
+    let metrics = evaluate_ranking(&p.split.test, p.data.n_pois(), &p.eval, score);
+    ModelResult {
+        model: ModelName::Tcss,
+        metrics,
+        train_secs,
+    }
+}
+
+/// Format one `Model  Hit@10  MRR` table row.
+pub fn row(r: &ModelResult) -> String {
+    format!(
+        "{:<10} {:>8.4} {:>8.4}   ({:>6.1}s train)",
+        r.model.label(),
+        r.metrics.hit_at_k,
+        r.metrics.mrr,
+        r.train_secs
+    )
+}

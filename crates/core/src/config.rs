@@ -1,0 +1,214 @@
+//! TCSS hyperparameters and the ablation variant switches of Table II.
+
+/// Embedding initialization method (§IV-A and the Table II ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMethod {
+    /// The paper's spectral method: top-r eigenvectors of the off-diagonal
+    /// mode Gram matrices (Eq 4).
+    Spectral,
+    /// Naive uniform random initialization (the CP/Tucker default).
+    Random,
+    /// One-hot-derived initialization: NCF-style index encoding flattened
+    /// into `r` dimensions (row `i` activates coordinate `i mod r`) plus
+    /// small noise to break ties.
+    OneHot,
+}
+
+/// How the least-squares head `L₂` is computed (§IV-D and Table II/IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossStrategy {
+    /// The paper's method: whole-data loss rewritten as Eq 15,
+    /// `O(nnz·r + (I+J+K)r²)` per epoch.
+    WholeDataRewritten,
+    /// Whole-data loss computed naively as Eq 14, `O(I·J·K·r)` per epoch.
+    /// Only used by the Table IV timing comparison and equivalence tests.
+    WholeDataNaive,
+    /// Classic negative sampling: per epoch, sample as many unobserved
+    /// entries as there are positives and fit squared error on the union.
+    NegativeSampling,
+}
+
+/// Which Hausdorff regularizer (if any) is used for `L₁` (§IV-C, Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HausdorffVariant {
+    /// The paper's social Hausdorff distance: `N(vᵢ)` = POIs visited by
+    /// friends, entropy-weighted (Eq 12).
+    Social,
+    /// Ablation: `N(vᵢ)` = POIs visited by the user themself.
+    SelfHausdorff,
+    /// Ablation: no `L₁`; at prediction time, discard POIs farther than
+    /// `zero_out_sigma · d_max` from the user's nearest visited POI.
+    ZeroOut,
+    /// Ablation: no `L₁` at all (λ = 0 row of Table II).
+    None,
+}
+
+/// Full TCSS configuration. `Default` reproduces the paper's §V-D settings
+/// (adapted where the paper's value is GPU-scale: see field docs).
+#[derive(Debug, Clone)]
+pub struct TcssConfig {
+    /// Tensor rank / embedding length `r` (paper default: 10).
+    pub rank: usize,
+    /// Positive-entry weight `w₊`. The paper's default is 0.99; our
+    /// synthetic tensors are denser, which moves the optimum to 0.95
+    /// (Table III / Fig 8 sweep this).
+    pub w_plus: f64,
+    /// Unlabeled-entry weight `w₋` (paper: 0.01; see [`TcssConfig::w_plus`]).
+    pub w_minus: f64,
+    /// Social-Hausdorff weight `λ`. The head normalizes POI distances by
+    /// `d_max`, so values here correspond to the paper's raw-kilometre λ
+    /// times the map extent (≈1200 km): our 240 ≈ their 0.2; Fig 11 sweeps
+    /// this.
+    pub lambda: f64,
+    /// Generalized-mean exponent `α` (paper default: −1).
+    pub alpha: f64,
+    /// Division guard `ε` (paper default: 1e-6).
+    pub epsilon: f64,
+    /// Adam learning rate. The paper uses 0.001 for GPU-scale training over
+    /// hundreds of epochs; our default 0.05 converges in ~250 epochs at
+    /// laptop scale (the optimizer and loss are unchanged).
+    pub learning_rate: f64,
+    /// Adam weight decay (paper default: 0.1 at lr 1e-3; at our larger
+    /// learning rate any nonzero decay measurably hurts, so the default is
+    /// 0 and the Gram term of Eq 15 provides the shrinkage).
+    pub weight_decay: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Embedding initialization.
+    pub init: InitMethod,
+    /// `L₂` computation strategy.
+    pub loss: LossStrategy,
+    /// `L₁` variant.
+    pub hausdorff: HausdorffVariant,
+    /// Optional cap on the social-Hausdorff candidate set `S(vᵢ)`:
+    /// `None` uses all POIs (exact, fine at laptop scale); `Some(p)` keeps
+    /// the `p` POIs with highest predicted visit probability.
+    pub hausdorff_candidates: Option<usize>,
+    /// Zero-out ablation threshold as a fraction of `d_max` (paper: 1%).
+    pub zero_out_sigma: f64,
+    /// RNG seed (negative sampling, random init).
+    pub seed: u64,
+    /// How often (in epochs) to refresh the `L₁` gradient. 1 = every epoch.
+    /// The head is the most expensive term; values >1 trade fidelity for
+    /// speed and are only used by the large parameter sweeps.
+    pub hausdorff_every: usize,
+}
+
+impl Default for TcssConfig {
+    fn default() -> Self {
+        TcssConfig {
+            rank: 10,
+            w_plus: 0.95,
+            w_minus: 0.05,
+            lambda: 240.0,
+            alpha: -1.0,
+            epsilon: 1e-6,
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            epochs: 250,
+            init: InitMethod::Spectral,
+            loss: LossStrategy::WholeDataRewritten,
+            hausdorff: HausdorffVariant::Social,
+            hausdorff_candidates: None,
+            zero_out_sigma: 0.01,
+            seed: 7,
+            hausdorff_every: 3,
+        }
+    }
+}
+
+impl TcssConfig {
+    /// The full-fledged TCSS of the paper.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Table II row: random initialization.
+    pub fn ablation_random_init() -> Self {
+        TcssConfig {
+            init: InitMethod::Random,
+            ..Self::default()
+        }
+    }
+
+    /// Table II row: one-hot initialization.
+    pub fn ablation_onehot_init() -> Self {
+        TcssConfig {
+            init: InitMethod::OneHot,
+            ..Self::default()
+        }
+    }
+
+    /// Table II row: remove `L₁` (λ = 0).
+    pub fn ablation_no_l1() -> Self {
+        TcssConfig {
+            lambda: 0.0,
+            hausdorff: HausdorffVariant::None,
+            ..Self::default()
+        }
+    }
+
+    /// Table II row: negative sampling instead of whole-data training.
+    pub fn ablation_negative_sampling() -> Self {
+        TcssConfig {
+            loss: LossStrategy::NegativeSampling,
+            ..Self::default()
+        }
+    }
+
+    /// Table II row: self-Hausdorff (no social influence).
+    pub fn ablation_self_hausdorff() -> Self {
+        TcssConfig {
+            hausdorff: HausdorffVariant::SelfHausdorff,
+            ..Self::default()
+        }
+    }
+
+    /// Table II row: zero-out distance filtering instead of `L₁`.
+    pub fn ablation_zero_out() -> Self {
+        TcssConfig {
+            lambda: 0.0,
+            hausdorff: HausdorffVariant::ZeroOut,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_hyperparameters() {
+        let c = TcssConfig::default();
+        assert_eq!(c.rank, 10);
+        assert_eq!(c.w_plus, 0.95);
+        assert_eq!(c.w_minus, 0.05);
+        assert_eq!(c.lambda, 240.0);
+        assert_eq!(c.alpha, -1.0);
+        assert_eq!(c.epsilon, 1e-6);
+        assert_eq!(c.init, InitMethod::Spectral);
+        assert_eq!(c.loss, LossStrategy::WholeDataRewritten);
+        assert_eq!(c.hausdorff, HausdorffVariant::Social);
+    }
+
+    #[test]
+    fn ablations_flip_exactly_their_switch() {
+        assert_eq!(TcssConfig::ablation_random_init().init, InitMethod::Random);
+        assert_eq!(TcssConfig::ablation_no_l1().lambda, 0.0);
+        assert_eq!(
+            TcssConfig::ablation_negative_sampling().loss,
+            LossStrategy::NegativeSampling
+        );
+        assert_eq!(
+            TcssConfig::ablation_self_hausdorff().hausdorff,
+            HausdorffVariant::SelfHausdorff
+        );
+        assert_eq!(
+            TcssConfig::ablation_zero_out().hausdorff,
+            HausdorffVariant::ZeroOut
+        );
+        // Everything else stays at the paper defaults.
+        assert_eq!(TcssConfig::ablation_random_init().rank, 10);
+    }
+}

@@ -1,0 +1,54 @@
+//! # tcss-core
+//!
+//! The paper's core contribution: **TCSS** — Tensor Completion with
+//! Social-Spatial regularization (Hui, Yan, Chen, Ku; ICDE 2022).
+//!
+//! TCSS recovers a binary user × POI × time check-in tensor from its
+//! observed entries, using LBSN side information. The pieces, each mapped to
+//! a module here:
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | Eq 4 — spectral embedding initialization | [`init`] |
+//! | Eq 6 — factorization model `X̂ = hᵀ(U¹ᵢ ⊙ U²ⱼ ⊙ U³ₖ)` | [`model`] |
+//! | Eq 9–13 — social Hausdorff loss head `L₁` | [`hausdorff`] |
+//! | Eq 14/15 — whole-data least-squares head `L₂`, rewritten | [`loss`] |
+//! | Eq 20 — joint training `L = λL₁ + L₂` with Adam | [`train`] |
+//! | Table II — ablation variants | [`config`] (variant enums) |
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use tcss_core::{TcssConfig, TcssTrainer};
+//! use tcss_data::{train_test_split, Granularity, SynthPreset};
+//!
+//! let data = SynthPreset::Gowalla.generate();
+//! let split = tcss_data::train_test_split(&data.checkins, data.n_users, 0.8, 42);
+//! let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+//! let model = trainer.train(|_epoch, _loss| {});
+//! let scores = model.scores_for(0, 5); // user 0, time unit 5, all POIs
+//! # let _ = scores;
+//! ```
+
+// Index-based loops are used deliberately throughout this crate: the
+// numeric kernels mirror the paper's subscripted equations, and iterator
+// chains over multiple parallel buffers obscure rather than clarify them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod hausdorff;
+pub mod init;
+pub mod loss;
+pub mod model;
+pub mod model_io;
+pub mod train;
+
+pub use config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+pub use hausdorff::SocialHausdorffHead;
+pub use init::{onehot_init, random_init, solve_h, spectral_init};
+pub use loss::{
+    naive_whole_data_loss, negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads,
+};
+pub use model::TcssModel;
+pub use model_io::{load_model, save_model};
+pub use train::{TcssTrainer, TrainContext};

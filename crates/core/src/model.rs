@@ -1,0 +1,240 @@
+//! The TCSS factorization model (paper Eq 6).
+//!
+//! `X̂_{ijk} = hᵀ (U¹ᵢ ⊙ U²ⱼ ⊙ U³ₖ) = Σ_t h_t U¹_{it} U²_{jt} U³_{kt}`
+//!
+//! With `h = 1` this is exactly rank-`r` CP (the paper's Remark in §IV-B);
+//! the learnable `h` weights each latent factor.
+
+use tcss_linalg::Matrix;
+
+/// Model parameters: three embedding matrices and the factor-importance
+/// vector `h`.
+#[derive(Debug, Clone)]
+pub struct TcssModel {
+    /// User embeddings, `I × r`.
+    pub u1: Matrix,
+    /// POI embeddings, `J × r`.
+    pub u2: Matrix,
+    /// Time-unit embeddings, `K × r`.
+    pub u3: Matrix,
+    /// Factor importance weights, length `r`.
+    pub h: Vec<f64>,
+}
+
+impl TcssModel {
+    /// Assemble a model from pre-initialized factors; `h` starts at all
+    /// ones, making the initial model exactly the CP estimate of the
+    /// spectral factors.
+    pub fn new(u1: Matrix, u2: Matrix, u3: Matrix) -> Self {
+        assert_eq!(u1.cols(), u2.cols(), "factor ranks must agree");
+        assert_eq!(u2.cols(), u3.cols(), "factor ranks must agree");
+        let r = u1.cols();
+        TcssModel {
+            u1,
+            u2,
+            u3,
+            h: vec![1.0; r],
+        }
+    }
+
+    /// `(I, J, K)` dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.u1.rows(), self.u2.rows(), self.u3.rows())
+    }
+
+    /// Embedding length `r`.
+    pub fn rank(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Predicted score `X̂_{ijk}` (Eq 6).
+    #[inline]
+    pub fn predict(&self, i: usize, j: usize, k: usize) -> f64 {
+        let r = self.h.len();
+        let ui = self.u1.row(i);
+        let uj = self.u2.row(j);
+        let uk = self.u3.row(k);
+        let mut acc = 0.0;
+        for t in 0..r {
+            acc += self.h[t] * ui[t] * uj[t] * uk[t];
+        }
+        acc
+    }
+
+    /// Scores for every POI at `(user, time)`: the ranking vector used by
+    /// the evaluation protocol and the recommendation API.
+    pub fn scores_for(&self, user: usize, time: usize) -> Vec<f64> {
+        let r = self.h.len();
+        let ui = self.u1.row(user);
+        let uk = self.u3.row(time);
+        // Precompute h ⊙ U¹ᵢ ⊙ U³ₖ once, then one dot per POI.
+        let w: Vec<f64> = (0..r).map(|t| self.h[t] * ui[t] * uk[t]).collect();
+        (0..self.u2.rows())
+            .map(|j| {
+                let uj = self.u2.row(j);
+                w.iter().zip(uj.iter()).map(|(&a, &b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// The full `J × K` predicted slice for one user (used by the social
+    /// Hausdorff head to form `p_{ij}` over all time units).
+    pub fn user_slice(&self, user: usize) -> Matrix {
+        let (_, j_dim, k_dim) = self.dims();
+        let r = self.h.len();
+        let ui = self.u1.row(user);
+        let hw: Vec<f64> = (0..r).map(|t| self.h[t] * ui[t]).collect();
+        Matrix::from_fn(j_dim, k_dim, |j, k| {
+            let uj = self.u2.row(j);
+            let uk = self.u3.row(k);
+            let mut acc = 0.0;
+            for t in 0..r {
+                acc += hw[t] * uj[t] * uk[t];
+            }
+            acc
+        })
+    }
+
+    /// Per-POI visit probability `p_{ij} = 1 − Π_k (1 − clamp(X̂_{ijk}))`
+    /// for one user (paper Eq 10's probability coupling). Scores are
+    /// clamped into `[0, 1−δ]` so the product stays a valid probability —
+    /// the model's raw output is unconstrained, but the paper semantically
+    /// treats `X̂` as `P(X = 1)`.
+    pub fn visit_probabilities(&self, user: usize) -> Vec<f64> {
+        let slice = self.user_slice(user);
+        let (j_dim, k_dim) = slice.shape();
+        (0..j_dim)
+            .map(|j| {
+                let mut not_visit = 1.0;
+                for k in 0..k_dim {
+                    let x = clamp_prob(slice.get(j, k));
+                    not_visit *= 1.0 - x;
+                }
+                1.0 - not_visit
+            })
+            .collect()
+    }
+
+    /// Top-`n` POI recommendations for `(user, time)` as `(poi, score)`
+    /// pairs sorted by descending score.
+    pub fn recommend(&self, user: usize, time: usize, n: usize) -> Vec<(usize, f64)> {
+        let scores = self.scores_for(user, time);
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores finite"));
+        idx.into_iter().take(n).map(|j| (j, scores[j])).collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        let (i, j, k) = self.dims();
+        (i + j + k + 1) * self.rank()
+    }
+}
+
+/// Clamp a raw score into `[0, 1−δ]` for probability semantics.
+#[inline]
+pub fn clamp_prob(x: f64) -> f64 {
+    x.clamp(0.0, 1.0 - 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> TcssModel {
+        // I=2, J=3, K=2, r=2.
+        let u1 = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]).unwrap();
+        let u2 = Matrix::from_rows(&[&[1.0, 1.0], &[0.5, 0.0], &[0.0, 2.0]]).unwrap();
+        let u3 = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 0.5]]).unwrap();
+        TcssModel::new(u1, u2, u3)
+    }
+
+    #[test]
+    fn predict_matches_hand_computation() {
+        let m = tiny_model();
+        // X̂_{0,0,0} = 1·1·1·1 + 1·0.5·1·0 = 1.
+        assert!((m.predict(0, 0, 0) - 1.0).abs() < 1e-12);
+        // X̂_{0,2,1} = 1·1·0·0.5 + 1·0.5·2·0.5 = 0.5.
+        assert!((m.predict(0, 2, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_all_ones_is_cp() {
+        let m = tiny_model();
+        // With h = 1 the model equals the plain CP triple product.
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..2 {
+                    let cp: f64 = (0..2)
+                        .map(|t| m.u1.get(i, t) * m.u2.get(j, t) * m.u3.get(k, t))
+                        .sum();
+                    assert!((m.predict(i, j, k) - cp).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn h_scales_factors() {
+        let mut m = tiny_model();
+        let base = m.predict(0, 0, 0);
+        m.h = vec![2.0, 2.0];
+        assert!((m.predict(0, 0, 0) - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_for_matches_pointwise_predict() {
+        let m = tiny_model();
+        let scores = m.scores_for(0, 1);
+        for (j, &s) in scores.iter().enumerate() {
+            assert!((s - m.predict(0, j, 1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn user_slice_matches_predict() {
+        let m = tiny_model();
+        let slice = m.user_slice(1);
+        for j in 0..3 {
+            for k in 0..2 {
+                assert!((slice.get(j, k) - m.predict(1, j, k)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn visit_probabilities_in_unit_interval() {
+        let m = tiny_model();
+        for i in 0..2 {
+            for p in m.visit_probabilities(i) {
+                assert!((0.0..=1.0).contains(&p), "p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn visit_probability_formula() {
+        // Model scores for user 0, poi 0 are X̂(k=0)=1, X̂(k=1)=0.75:
+        // clamped to (1−δ) and 0.75 → p ≈ 1 − (δ)(0.25) ≈ 1.
+        let m = tiny_model();
+        let p = m.visit_probabilities(0);
+        assert!(p[0] > 0.999);
+    }
+
+    #[test]
+    fn recommend_is_sorted_and_truncated() {
+        let m = tiny_model();
+        let rec = m.recommend(0, 0, 2);
+        assert_eq!(rec.len(), 2);
+        assert!(rec[0].1 >= rec[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks must agree")]
+    fn mismatched_ranks_rejected() {
+        let u1 = Matrix::zeros(2, 2);
+        let u2 = Matrix::zeros(3, 3);
+        let u3 = Matrix::zeros(2, 2);
+        TcssModel::new(u1, u2, u3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Save / load trained TCSS models.
+//!
+//! A simple self-describing text format (one header line, then one line per
+//! factor row) keeps trained models inspectable with standard tools and
+//! independent of serialization-library versions:
+//!
+//! ```text
+//! tcss-model v1 I J K r
+//! h: <r floats>
+//! u1 <row>: <r floats>      (I rows)
+//! u2 <row>: <r floats>      (J rows)
+//! u3 <row>: <r floats>      (K rows)
+//! ```
+
+use crate::model::TcssModel;
+use std::fmt::Write as _;
+use std::path::Path;
+use tcss_linalg::Matrix;
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// Structurally invalid file.
+    Parse(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Fs(e) => write!(f, "io error: {e}"),
+            ModelIoError::Parse(msg) => write!(f, "model file malformed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Fs(e)
+    }
+}
+
+fn write_matrix(out: &mut String, tag: &str, m: &Matrix) {
+    for i in 0..m.rows() {
+        write!(out, "{tag} {i}:").expect("writing to String cannot fail");
+        for v in m.row(i) {
+            // 17 significant digits: lossless f64 round-trip.
+            write!(out, " {v:.17e}").expect("writing to String cannot fail");
+        }
+        out.push('\n');
+    }
+}
+
+/// Save a trained model to `path`.
+pub fn save_model(model: &TcssModel, path: &Path) -> Result<(), ModelIoError> {
+    let (i, j, k) = model.dims();
+    let r = model.rank();
+    let mut out = format!("tcss-model v1 {i} {j} {k} {r}\n");
+    out.push_str("h:");
+    for v in &model.h {
+        write!(out, " {v:.17e}").expect("writing to String cannot fail");
+    }
+    out.push('\n');
+    write_matrix(&mut out, "u1", &model.u1);
+    write_matrix(&mut out, "u2", &model.u2);
+    write_matrix(&mut out, "u3", &model.u3);
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+fn parse_floats(rest: &str, expect: usize, what: &str) -> Result<Vec<f64>, ModelIoError> {
+    let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|_| ModelIoError::Parse(format!("bad float in {what}")))?;
+    if vals.len() != expect {
+        return Err(ModelIoError::Parse(format!(
+            "{what}: expected {expect} values, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Load a model previously written by [`save_model`].
+pub fn load_model(path: &Path) -> Result<TcssModel, ModelIoError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| ModelIoError::Parse("empty file".into()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "tcss-model" || fields[1] != "v1" {
+        return Err(ModelIoError::Parse(format!("bad header {header:?}")));
+    }
+    let dims: Vec<usize> = fields[2..]
+        .iter()
+        .map(|s| s.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| ModelIoError::Parse("bad dimensions in header".into()))?;
+    let (i_dim, j_dim, k_dim, r) = (dims[0], dims[1], dims[2], dims[3]);
+
+    let h_line = lines
+        .next()
+        .ok_or_else(|| ModelIoError::Parse("missing h line".into()))?;
+    let h = parse_floats(
+        h_line
+            .strip_prefix("h:")
+            .ok_or_else(|| ModelIoError::Parse("expected 'h:' line".into()))?,
+        r,
+        "h",
+    )?;
+
+    let mut read_matrix = |tag: &str, rows: usize| -> Result<Matrix, ModelIoError> {
+        let mut m = Matrix::zeros(rows, r);
+        for row in 0..rows {
+            let line = lines
+                .next()
+                .ok_or_else(|| ModelIoError::Parse(format!("missing {tag} row {row}")))?;
+            let prefix = format!("{tag} {row}:");
+            let rest = line
+                .strip_prefix(&prefix)
+                .ok_or_else(|| ModelIoError::Parse(format!("expected {prefix:?}")))?;
+            let vals = parse_floats(rest, r, tag)?;
+            m.row_mut(row).copy_from_slice(&vals);
+        }
+        Ok(m)
+    };
+    let u1 = read_matrix("u1", i_dim)?;
+    let u2 = read_matrix("u2", j_dim)?;
+    let u3 = read_matrix("u3", k_dim)?;
+    let mut model = TcssModel::new(u1, u2, u3);
+    model.h = h;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_init;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcss_model_io");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let (u1, u2, u3) = random_init((5, 7, 3), 3, 42);
+        let mut model = TcssModel::new(u1, u2, u3);
+        model.h = vec![1.5, -0.25, 1e-17];
+        let path = tmp("roundtrip.tcss");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.dims(), model.dims());
+        assert_eq!(loaded.h, model.h);
+        assert!(loaded.u1.approx_eq(&model.u1, 0.0));
+        assert!(loaded.u2.approx_eq(&model.u2, 0.0));
+        assert!(loaded.u3.approx_eq(&model.u3, 0.0));
+        // Predictions identical.
+        assert_eq!(loaded.predict(4, 6, 2), model.predict(4, 6, 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let (u1, u2, u3) = random_init((3, 3, 3), 2, 1);
+        let model = TcssModel::new(u1, u2, u3);
+        let path = tmp("truncated.tcss");
+        save_model(&model, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, cut).unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let path = tmp("badheader.tcss");
+        std::fs::write(&path, "not-a-model v9 1 1 1 1\n").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_float_is_rejected() {
+        let (u1, u2, u3) = random_init((2, 2, 2), 2, 1);
+        let model = TcssModel::new(u1, u2, u3);
+        let path = tmp("corrupt.tcss");
+        save_model(&model, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap().replace("e0", "eX");
+        std::fs::write(&path, text).unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,359 @@
+//! Joint training: `L = λ·L₁ + L₂` with Adam (paper Eq 20, §V-D).
+
+use crate::config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+use crate::hausdorff::SocialHausdorffHead;
+use crate::init::{onehot_init, random_init, spectral_init};
+use crate::loss::{negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads};
+use crate::model::TcssModel;
+use tcss_data::{CheckIn, Dataset, Granularity};
+use tcss_geo::WeightedHausdorffParams;
+use tcss_sparse::SparseTensor3;
+
+/// Adam state over a [`Grads`]-shaped parameter space.
+struct AdamState {
+    m: Grads,
+    v: Grads,
+    t: u64,
+}
+
+impl AdamState {
+    fn new(model: &TcssModel) -> Self {
+        AdamState {
+            m: Grads::zeros(model),
+            v: Grads::zeros(model),
+            t: 0,
+        }
+    }
+
+    fn step(&mut self, model: &mut TcssModel, grads: &Grads, lr: f64, weight_decay: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        let update = |w: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]| {
+            for idx in 0..w.len() {
+                m[idx] = B1 * m[idx] + (1.0 - B1) * g[idx];
+                v[idx] = B2 * v[idx] + (1.0 - B2) * g[idx] * g[idx];
+                let mhat = m[idx] / bc1;
+                let vhat = v[idx] / bc2;
+                w[idx] -= lr * (mhat / (vhat.sqrt() + EPS) + weight_decay * w[idx]);
+            }
+        };
+        update(
+            model.u1.as_mut_slice(),
+            grads.u1.as_slice(),
+            self.m.u1.as_mut_slice(),
+            self.v.u1.as_mut_slice(),
+        );
+        update(
+            model.u2.as_mut_slice(),
+            grads.u2.as_slice(),
+            self.m.u2.as_mut_slice(),
+            self.v.u2.as_mut_slice(),
+        );
+        update(
+            model.u3.as_mut_slice(),
+            grads.u3.as_slice(),
+            self.m.u3.as_mut_slice(),
+            self.v.u3.as_mut_slice(),
+        );
+        update(&mut model.h, &grads.h, &mut self.m.h, &mut self.v.h);
+    }
+}
+
+/// Everything needed to train a TCSS model on one dataset split.
+pub struct TcssTrainer {
+    /// Training tensor (binary).
+    pub tensor: SparseTensor3,
+    /// Head for `L₁`, present for the Social/SelfHausdorff variants.
+    head: Option<SocialHausdorffHead>,
+    /// Per-user allowed-POI mask for the ZeroOut ablation (`None` for other
+    /// variants): POIs farther than `σ·d_max` from the user's nearest
+    /// *visited* POI are excluded at recommendation time.
+    zero_out_allowed: Option<Vec<Vec<bool>>>,
+    /// Configuration.
+    pub config: TcssConfig,
+}
+
+/// Context handed to per-epoch callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainContext {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// `L₂` value this epoch (rewritten form, constant omitted).
+    pub l2: f64,
+    /// `L₁` value this epoch (0 when the head is disabled).
+    pub l1: f64,
+}
+
+impl TcssTrainer {
+    /// Assemble a trainer from a dataset, its training check-ins and a
+    /// granularity.
+    pub fn new(
+        data: &Dataset,
+        train: &[CheckIn],
+        granularity: Granularity,
+        config: TcssConfig,
+    ) -> Self {
+        let tensor = data.tensor_from(train, granularity);
+        let head = match config.hausdorff {
+            HausdorffVariant::Social | HausdorffVariant::SelfHausdorff => {
+                Some(SocialHausdorffHead::new(
+                    data,
+                    train,
+                    config.hausdorff,
+                    WeightedHausdorffParams {
+                        alpha: config.alpha,
+                        epsilon: config.epsilon,
+                        floor: 1e-9,
+                    },
+                    config.hausdorff_candidates,
+                ))
+            }
+            _ => None,
+        };
+        let zero_out_allowed = (config.hausdorff == HausdorffVariant::ZeroOut).then(|| {
+            let dist = data.distance_matrix();
+            let sigma_km = config.zero_out_sigma * dist.max_distance();
+            let mut visited: Vec<Vec<usize>> = vec![Vec::new(); data.n_users];
+            for c in train {
+                visited[c.user].push(c.poi);
+            }
+            (0..data.n_users)
+                .map(|u| {
+                    (0..data.n_pois())
+                        .map(|j| {
+                            dist.min_to_set(j, &visited[u])
+                                .is_none_or(|d| d <= sigma_km)
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        TcssTrainer {
+            tensor,
+            head,
+            zero_out_allowed,
+            config,
+        }
+    }
+
+    /// Initialize the factor matrices per the configured method.
+    pub fn init_model(&self) -> TcssModel {
+        let dims = self.tensor.dims();
+        let r = self.config.rank;
+        let max_r = dims.0.min(dims.1).min(dims.2);
+        assert!(
+            r <= max_r,
+            "rank {r} exceeds the smallest tensor dimension {max_r} \
+             (the paper notes the same cap: r ≤ K at month granularity)"
+        );
+        let (u1, u2, u3) = match self.config.init {
+            InitMethod::Spectral => spectral_init(&self.tensor, r, self.config.seed),
+            InitMethod::Random => random_init(dims, r, self.config.seed),
+            InitMethod::OneHot => onehot_init(dims, r, self.config.seed),
+        };
+        // Note: `init::solve_h` can put `h` at the exact L₂ optimum for the
+        // spectral factors, but empirically the h = 1 (CP-like) start lands
+        // in a better basin after full training, so all variants share it.
+        TcssModel::new(u1, u2, u3)
+    }
+
+    /// Train a freshly-initialized model. The callback observes each epoch.
+    pub fn train(&self, mut on_epoch: impl FnMut(usize, f64)) -> TcssModel {
+        self.train_detailed(|ctx| on_epoch(ctx.epoch, ctx.l1 * self.config.lambda + ctx.l2))
+    }
+
+    /// Train with a detailed per-epoch callback.
+    pub fn train_detailed(&self, mut on_epoch: impl FnMut(TrainContext)) -> TcssModel {
+        let mut model = self.init_model();
+        self.train_model(&mut model, &mut on_epoch);
+        model
+    }
+
+    /// Train an externally-initialized model in place (used by the Fig 9
+    /// convergence study to compare initializations under identical loops).
+    pub fn train_model(&self, model: &mut TcssModel, on_epoch: &mut impl FnMut(TrainContext)) {
+        let cfg = &self.config;
+        let mut adam = AdamState::new(model);
+        for epoch in 0..cfg.epochs {
+            let (l2, mut grads) = match cfg.loss {
+                LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
+                    // The naive strategy optimizes the same objective; the
+                    // rewritten gradient is exact for it (Remark 1), so the
+                    // timing experiment measures only the *loss evaluation*.
+                    rewritten_loss_and_grad(model, self.tensor.entries(), cfg.w_plus, cfg.w_minus)
+                }
+                LossStrategy::NegativeSampling => negative_sampling_loss_and_grad(
+                    model,
+                    &self.tensor,
+                    cfg.w_plus,
+                    cfg.w_minus,
+                    cfg.seed.wrapping_add(epoch as u64),
+                ),
+            };
+            let mut l1 = 0.0;
+            if let Some(head) = &self.head {
+                if cfg.lambda > 0.0 && epoch % cfg.hausdorff_every == 0 {
+                    l1 = head.loss_and_grad(model, &mut grads, cfg.lambda);
+                }
+            }
+            adam.step(model, &grads, cfg.learning_rate, cfg.weight_decay);
+            on_epoch(TrainContext { epoch, l2, l1 });
+        }
+    }
+
+    /// Score function for ranking, applying the ZeroOut mask when that
+    /// ablation is active (masked POIs score `−∞`).
+    pub fn score_fn<'a>(&'a self, model: &'a TcssModel) -> impl Fn(usize, usize, usize) -> f64 + 'a {
+        move |i, j, k| {
+            if let Some(mask) = &self.zero_out_allowed {
+                if !mask[i][j] {
+                    return f64::NEG_INFINITY;
+                }
+            }
+            model.predict(i, j, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcss_data::{train_test_split, SynthPreset};
+
+    fn small_setup(config: TcssConfig) -> (Dataset, Vec<CheckIn>, TcssTrainer) {
+        let data = SynthPreset::Gmu5k.generate();
+        let split = train_test_split(&data.checkins, data.n_users, 0.8, 1);
+        let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, config);
+        (data, split.train, trainer)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let cfg = TcssConfig {
+            epochs: 15,
+            ..TcssConfig::default()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let mut losses = Vec::new();
+        let _model = trainer.train_detailed(|ctx| losses.push(ctx.l2 + 0.1 * ctx.l1));
+        assert_eq!(losses.len(), 15);
+        assert!(
+            losses[14] < losses[0],
+            "loss should decrease: {} → {}",
+            losses[0],
+            losses[14]
+        );
+    }
+
+    #[test]
+    fn trained_model_separates_positives_from_negatives() {
+        let cfg = TcssConfig {
+            epochs: 40,
+            ..TcssConfig::default()
+        };
+        let (_, train, trainer) = small_setup(cfg);
+        let model = trainer.train(|_, _| {});
+        // Average score on train positives must exceed random cells.
+        let mut pos = 0.0;
+        let mut n_pos = 0.0;
+        for c in train.iter().take(300) {
+            pos += model.predict(c.user, c.poi, c.month as usize);
+            n_pos += 1.0;
+        }
+        pos /= n_pos;
+        let (i_dim, j_dim, k_dim) = trainer.tensor.dims();
+        let mut neg = 0.0;
+        let mut n_neg = 0.0;
+        for s in 0..300 {
+            let (i, j, k) = ((s * 13) % i_dim, (s * 7) % j_dim, (s * 5) % k_dim);
+            if !trainer.tensor.contains(i, j, k) {
+                neg += model.predict(i, j, k);
+                n_neg += 1.0;
+            }
+        }
+        neg /= n_neg;
+        assert!(
+            pos > neg + 0.1,
+            "positives {pos} should clearly exceed negatives {neg}"
+        );
+    }
+
+    #[test]
+    fn zero_out_masks_far_pois() {
+        let cfg = TcssConfig {
+            epochs: 2,
+            ..TcssConfig::ablation_zero_out()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        assert!(trainer.zero_out_allowed.is_some());
+        let model = trainer.train(|_, _| {});
+        let score = trainer.score_fn(&model);
+        // At least one (user, poi) pair must be masked to −∞ and at least
+        // one allowed.
+        let mask = trainer.zero_out_allowed.as_ref().unwrap();
+        let mut masked = 0;
+        let mut allowed = 0;
+        for (u, row) in mask.iter().enumerate() {
+            for (j, &ok) in row.iter().enumerate() {
+                if ok {
+                    allowed += 1;
+                    assert!(score(u, j, 0).is_finite());
+                } else {
+                    masked += 1;
+                    assert_eq!(score(u, j, 0), f64::NEG_INFINITY);
+                }
+            }
+        }
+        assert!(masked > 0, "zero-out mask masked nothing");
+        assert!(allowed > 0);
+    }
+
+    #[test]
+    fn negative_sampling_strategy_trains() {
+        let cfg = TcssConfig {
+            epochs: 10,
+            ..TcssConfig::ablation_negative_sampling()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        trainer.train_detailed(|ctx| {
+            if ctx.epoch == 0 {
+                first = ctx.l2;
+            }
+            last = ctx.l2;
+        });
+        assert!(last < first, "negative-sampling loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn oversized_rank_is_rejected() {
+        let cfg = TcssConfig {
+            rank: 13, // > K = 12
+            ..TcssConfig::default()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let _ = trainer.init_model();
+    }
+
+    #[test]
+    fn hausdorff_every_skips_epochs() {
+        let cfg = TcssConfig {
+            epochs: 4,
+            hausdorff_every: 2,
+            ..TcssConfig::default()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let mut l1s = Vec::new();
+        trainer.train_detailed(|ctx| l1s.push(ctx.l1));
+        assert!(l1s[0] > 0.0);
+        assert_eq!(l1s[1], 0.0);
+        assert!(l1s[2] > 0.0);
+        assert_eq!(l1s[3], 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! CSV persistence for datasets.
+//!
+//! Two files describe a dataset (plus a tiny header file):
+//!
+//! * `<stem>.pois.csv` — `poi_id,lon,lat,category`
+//! * `<stem>.checkins.csv` — `user,poi,month,week,hour`
+//! * `<stem>.edges.csv` — `user_a,user_b`
+//!
+//! The format intentionally mirrors the shape of the public Gowalla /
+//! Foursquare dumps so real data can be dropped in by writing these three
+//! files.
+
+use crate::dataset::{Category, CheckIn, Dataset, Poi};
+use std::fmt::Write as _;
+use std::path::Path;
+use tcss_geo::GeoPoint;
+use tcss_graph::SocialGraph;
+
+/// Errors raised by dataset (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Fs(std::io::Error),
+    /// A malformed line or field.
+    Parse {
+        /// File stem in which the error occurred.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "io error: {e}"),
+            IoError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+fn category_code(c: Category) -> &'static str {
+    c.label()
+}
+
+fn parse_category(s: &str) -> Option<Category> {
+    Category::ALL.into_iter().find(|c| c.label() == s)
+}
+
+/// Write a dataset to `<stem>.pois.csv`, `<stem>.checkins.csv` and
+/// `<stem>.edges.csv`.
+pub fn save_dataset(data: &Dataset, stem: &Path) -> Result<(), IoError> {
+    let mut pois = String::from("poi_id,lon,lat,category\n");
+    for (j, p) in data.pois.iter().enumerate() {
+        writeln!(
+            pois,
+            "{j},{},{},{}",
+            p.location.lon,
+            p.location.lat,
+            category_code(p.category)
+        )
+        .expect("writing to String cannot fail");
+    }
+    std::fs::write(with_suffix(stem, ".pois.csv"), pois)?;
+
+    let mut checks = String::from("user,poi,month,week,hour\n");
+    for c in &data.checkins {
+        writeln!(checks, "{},{},{},{},{}", c.user, c.poi, c.month, c.week, c.hour)
+            .expect("writing to String cannot fail");
+    }
+    std::fs::write(with_suffix(stem, ".checkins.csv"), checks)?;
+
+    let mut edges = String::from("user_a,user_b\n");
+    for (a, b) in data.social.edges() {
+        writeln!(edges, "{a},{b}").expect("writing to String cannot fail");
+    }
+    std::fs::write(with_suffix(stem, ".edges.csv"), edges)?;
+    Ok(())
+}
+
+/// Load a dataset previously written by [`save_dataset`] (or hand-authored
+/// in the same format). `n_users` is inferred as 1 + the largest user index.
+pub fn load_dataset(name: &str, stem: &Path) -> Result<Dataset, IoError> {
+    let pois_txt = std::fs::read_to_string(with_suffix(stem, ".pois.csv"))?;
+    let mut pois = Vec::new();
+    for (ln, line) in pois_txt.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(IoError::Parse {
+                file: "pois".into(),
+                line: ln + 1,
+                message: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let lon: f64 = parse_field(&fields, 1, "pois", ln)?;
+        let lat: f64 = parse_field(&fields, 2, "pois", ln)?;
+        let category = parse_category(fields[3]).ok_or_else(|| IoError::Parse {
+            file: "pois".into(),
+            line: ln + 1,
+            message: format!("unknown category {:?}", fields[3]),
+        })?;
+        pois.push(Poi {
+            location: GeoPoint::new(lon, lat),
+            category,
+        });
+    }
+
+    let checks_txt = std::fs::read_to_string(with_suffix(stem, ".checkins.csv"))?;
+    let mut checkins = Vec::new();
+    let mut max_user = 0usize;
+    for (ln, line) in checks_txt.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(IoError::Parse {
+                file: "checkins".into(),
+                line: ln + 1,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let c = CheckIn {
+            user: parse_field(&fields, 0, "checkins", ln)?,
+            poi: parse_field(&fields, 1, "checkins", ln)?,
+            month: parse_field(&fields, 2, "checkins", ln)?,
+            week: parse_field(&fields, 3, "checkins", ln)?,
+            hour: parse_field(&fields, 4, "checkins", ln)?,
+        };
+        if c.poi >= pois.len() {
+            return Err(IoError::Parse {
+                file: "checkins".into(),
+                line: ln + 1,
+                message: format!("poi {} out of range ({} POIs)", c.poi, pois.len()),
+            });
+        }
+        max_user = max_user.max(c.user);
+        checkins.push(c);
+    }
+    let n_users = if checkins.is_empty() { 0 } else { max_user + 1 };
+
+    let edges_txt = std::fs::read_to_string(with_suffix(stem, ".edges.csv"))?;
+    let mut edges = Vec::new();
+    for (ln, line) in edges_txt.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 2 {
+            return Err(IoError::Parse {
+                file: "edges".into(),
+                line: ln + 1,
+                message: format!("expected 2 fields, got {}", fields.len()),
+            });
+        }
+        let a: usize = parse_field(&fields, 0, "edges", ln)?;
+        let b: usize = parse_field(&fields, 1, "edges", ln)?;
+        edges.push((a, b));
+    }
+
+    Ok(Dataset {
+        name: name.to_string(),
+        n_users,
+        pois,
+        checkins,
+        social: SocialGraph::from_edges(n_users, edges),
+    })
+}
+
+fn with_suffix(stem: &Path, suffix: &str) -> std::path::PathBuf {
+    let mut s = stem.as_os_str().to_os_string();
+    s.push(suffix);
+    std::path::PathBuf::from(s)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    file: &str,
+    ln: usize,
+) -> Result<T, IoError> {
+    fields[idx].trim().parse().map_err(|_| IoError::Parse {
+        file: file.to_string(),
+        line: ln + 1,
+        message: format!("cannot parse field {idx} ({:?})", fields[idx]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthPreset;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let d = SynthPreset::Gmu5k.generate();
+        let dir = std::env::temp_dir().join("tcss_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("gmu");
+        save_dataset(&d, &stem).unwrap();
+        let loaded = load_dataset("gmu5k-synth", &stem).unwrap();
+        assert_eq!(loaded.n_users, d.n_users);
+        assert_eq!(loaded.n_pois(), d.n_pois());
+        assert_eq!(loaded.checkins, d.checkins);
+        assert_eq!(loaded.social.edge_count(), d.social.edge_count());
+        for (a, b) in d.social.edges() {
+            assert!(loaded.social.has_edge(a, b));
+        }
+        // POI geometry survives the float round-trip.
+        for (p, q) in d.pois.iter().zip(loaded.pois.iter()) {
+            assert!((p.location.lon - q.location.lon).abs() < 1e-9);
+            assert_eq!(p.category, q.category);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_csv_is_reported_with_line() {
+        let dir = std::env::temp_dir().join("tcss_io_badtest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("bad");
+        std::fs::write(
+            with_suffix(&stem, ".pois.csv"),
+            "poi_id,lon,lat,category\n0,not_a_float,2.0,food\n",
+        )
+        .unwrap();
+        std::fs::write(with_suffix(&stem, ".checkins.csv"), "user,poi,month,week,hour\n").unwrap();
+        std::fs::write(with_suffix(&stem, ".edges.csv"), "user_a,user_b\n").unwrap();
+        let err = load_dataset("bad", &stem).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("pois"), "{msg}");
+        assert!(msg.contains('2'), "{msg}"); // line number
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_poi_rejected() {
+        let dir = std::env::temp_dir().join("tcss_io_oortest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("oor");
+        std::fs::write(
+            with_suffix(&stem, ".pois.csv"),
+            "poi_id,lon,lat,category\n0,1.0,2.0,food\n",
+        )
+        .unwrap();
+        std::fs::write(
+            with_suffix(&stem, ".checkins.csv"),
+            "user,poi,month,week,hour\n0,5,0,0,0\n",
+        )
+        .unwrap();
+        std::fs::write(with_suffix(&stem, ".edges.csv"), "user_a,user_b\n").unwrap();
+        assert!(load_dataset("oor", &stem).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! # tcss-data
+//!
+//! LBSN datasets for the TCSS reproduction: the dataset container, a
+//! deterministic synthetic data generator, preprocessing filters matching
+//! §V-A of the paper, train/test splitting, and CSV persistence.
+//!
+//! ## The substitution this crate implements
+//!
+//! The paper evaluates on Gowalla, Yelp, Foursquare and GMU-5K — downloads
+//! we cannot ship. [`synth`] generates datasets that reproduce the
+//! *statistical structure* those datasets contribute to the paper's
+//! mechanisms (see `DESIGN.md` §2/§3):
+//!
+//! 1. **Seasonality per POI category** — outdoor POIs peak sharply in
+//!    summer/winter, food is near-uniform (drives Figs 4–7);
+//! 2. **Social-spatial homophily** — friends share interest communities and
+//!    visit geographically co-located POIs (drives the social Hausdorff
+//!    head);
+//! 3. **Power-law POI popularity** — drives location entropy;
+//! 4. **Per-preset density** — GMU-5K densest, Yelp sparsest (drives the
+//!    cross-dataset ordering in Table I).
+
+pub mod dataset;
+pub mod io;
+pub mod preprocess;
+pub mod split;
+pub mod synth;
+
+pub use dataset::{Category, CheckIn, Dataset, Granularity, Poi};
+pub use preprocess::{preprocess, PreprocessConfig};
+pub use split::{train_test_split, Split};
+pub use synth::{SynthConfig, SynthPreset};

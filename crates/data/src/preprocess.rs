@@ -1,0 +1,246 @@
+//! Dataset preprocessing filters, mirroring §V-A of the paper:
+//! keep users with ≥ `min_checkins` check-ins and ≥ `min_friends` friends;
+//! keep POIs with ≥ `min_visitors` distinct visitors. Applied iteratively
+//! until a fixed point, since dropping POIs can push users under the
+//! check-in threshold and vice versa.
+
+use crate::dataset::{CheckIn, Dataset};
+
+/// Thresholds for [`preprocess`].
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Minimum check-ins per user (paper: 15).
+    pub min_checkins: usize,
+    /// Minimum friends per user (paper: 1).
+    pub min_friends: usize,
+    /// Minimum distinct visitors per POI (paper: 50; presets scale this
+    /// down with the synthetic data size).
+    pub min_visitors: usize,
+    /// Maximum filter iterations (a fixed point is normally reached in 2–3).
+    pub max_rounds: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            min_checkins: 15,
+            min_friends: 1,
+            min_visitors: 3,
+            max_rounds: 10,
+        }
+    }
+}
+
+/// Apply the paper's preprocessing filters, renumbering users and POIs
+/// densely. Returns the filtered dataset (possibly empty if thresholds are
+/// too aggressive for the input).
+pub fn preprocess(data: &Dataset, cfg: &PreprocessConfig) -> Dataset {
+    let mut keep_user: Vec<bool> = vec![true; data.n_users];
+    let mut keep_poi: Vec<bool> = vec![true; data.n_pois()];
+
+    for _ in 0..cfg.max_rounds {
+        let mut changed = false;
+
+        // Per-user check-in counts and per-POI visitor sets, over kept rows.
+        let mut user_counts = vec![0usize; data.n_users];
+        let mut poi_visitors: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); data.n_pois()];
+        for c in &data.checkins {
+            if keep_user[c.user] && keep_poi[c.poi] {
+                user_counts[c.user] += 1;
+                poi_visitors[c.poi].insert(c.user);
+            }
+        }
+        // Friend counts among kept users.
+        for u in 0..data.n_users {
+            if !keep_user[u] {
+                continue;
+            }
+            let friends = data
+                .social
+                .neighbors(u)
+                .iter()
+                .filter(|&&f| keep_user[f])
+                .count();
+            if user_counts[u] < cfg.min_checkins || friends < cfg.min_friends {
+                keep_user[u] = false;
+                changed = true;
+            }
+        }
+        for j in 0..data.n_pois() {
+            if keep_poi[j] && poi_visitors[j].len() < cfg.min_visitors {
+                keep_poi[j] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Dense renumbering.
+    let mut user_map = vec![None; data.n_users];
+    let mut next_u = 0;
+    for (u, &k) in keep_user.iter().enumerate() {
+        if k {
+            user_map[u] = Some(next_u);
+            next_u += 1;
+        }
+    }
+    let mut poi_map = vec![None; data.n_pois()];
+    let mut pois = Vec::new();
+    for (j, &k) in keep_poi.iter().enumerate() {
+        if k {
+            poi_map[j] = Some(pois.len());
+            pois.push(data.pois[j]);
+        }
+    }
+    let checkins: Vec<CheckIn> = data
+        .checkins
+        .iter()
+        .filter_map(|c| match (user_map[c.user], poi_map[c.poi]) {
+            (Some(u), Some(p)) => Some(CheckIn {
+                user: u,
+                poi: p,
+                ..*c
+            }),
+            _ => None,
+        })
+        .collect();
+    let social = data.social.remap(&user_map, next_u);
+
+    Dataset {
+        name: data.name.clone(),
+        n_users: next_u,
+        pois,
+        checkins,
+        social,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Category, Poi};
+    use crate::synth::SynthPreset;
+    use tcss_geo::GeoPoint;
+    use tcss_graph::SocialGraph;
+
+    fn poi() -> Poi {
+        Poi {
+            location: GeoPoint::new(0.0, 0.0),
+            category: Category::Food,
+        }
+    }
+
+    fn checkin(user: usize, poi: usize) -> CheckIn {
+        CheckIn {
+            user,
+            poi,
+            month: 0,
+            week: 0,
+            hour: 0,
+        }
+    }
+
+    #[test]
+    fn drops_users_without_friends() {
+        let data = Dataset {
+            name: "t".into(),
+            n_users: 3,
+            pois: vec![poi()],
+            // All users active enough, but user 2 has no friends.
+            checkins: (0..3).flat_map(|u| (0..3).map(move |_| checkin(u, 0))).collect(),
+            social: SocialGraph::from_edges(3, vec![(0, 1)]),
+        };
+        let cfg = PreprocessConfig {
+            min_checkins: 2,
+            min_friends: 1,
+            min_visitors: 1,
+            max_rounds: 5,
+        };
+        let out = preprocess(&data, &cfg);
+        assert_eq!(out.n_users, 2);
+        assert!(out.social.has_edge(0, 1));
+    }
+
+    #[test]
+    fn drops_inactive_users_and_cold_pois() {
+        let data = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            pois: vec![poi(), poi()],
+            // User 0 very active at POI 0; user 1 one check-in at POI 1.
+            checkins: vec![
+                checkin(0, 0),
+                checkin(0, 0),
+                checkin(0, 0),
+                checkin(1, 1),
+            ],
+            social: SocialGraph::from_edges(2, vec![(0, 1)]),
+        };
+        let cfg = PreprocessConfig {
+            min_checkins: 2,
+            min_friends: 0,
+            min_visitors: 1,
+            max_rounds: 5,
+        };
+        let out = preprocess(&data, &cfg);
+        // User 1 dropped (1 check-in < 2); POI 1 then has no visitors.
+        assert_eq!(out.n_users, 1);
+        assert_eq!(out.n_pois(), 1);
+        assert_eq!(out.checkins.len(), 3);
+    }
+
+    #[test]
+    fn cascading_fixed_point() {
+        // User 1's only check-ins are at a POI that gets dropped, which
+        // must then drop user 1 (and the edge to user 0 must survive only
+        // if user 0 still qualifies with min_friends=0).
+        let data = Dataset {
+            name: "t".into(),
+            n_users: 2,
+            pois: vec![poi(), poi()],
+            checkins: vec![
+                checkin(0, 0),
+                checkin(0, 0),
+                checkin(1, 1), // POI 1: single visitor
+                checkin(1, 1),
+            ],
+            social: SocialGraph::from_edges(2, vec![(0, 1)]),
+        };
+        let cfg = PreprocessConfig {
+            min_checkins: 2,
+            min_friends: 0,
+            min_visitors: 2,
+            max_rounds: 5,
+        };
+        let out = preprocess(&data, &cfg);
+        // POI 1 has 1 visitor < 2 → dropped → user 1 has 0 check-ins → dropped.
+        // POI 0 has only user 0 → 1 visitor < 2 → dropped → everything empty.
+        assert_eq!(out.n_pois(), 0);
+        assert_eq!(out.n_users, 0);
+    }
+
+    #[test]
+    fn synthetic_presets_survive_preprocessing() {
+        for preset in SynthPreset::ALL {
+            let d = preset.generate();
+            let out = preprocess(&d, &PreprocessConfig::default());
+            assert!(
+                out.n_users as f64 > d.n_users as f64 * 0.5,
+                "{}: too many users filtered ({} of {})",
+                d.name,
+                out.n_users,
+                d.n_users
+            );
+            assert!(out.n_pois() > 0);
+            // Every surviving user meets the thresholds.
+            let counts = out.user_checkin_counts();
+            for (u, &c) in counts.iter().enumerate() {
+                assert!(c >= 15, "user {u} has {c} check-ins");
+                assert!(out.social.degree(u) >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Train/test splitting.
+//!
+//! The paper uses 80% of check-ins as the observed training tensor and the
+//! rest as the test set (§V-C). We split *per user* so every user retains
+//! training history (a global split can strand users with zero observed
+//! check-ins, which no model in the comparison could score meaningfully).
+
+use crate::dataset::CheckIn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A train/test partition of a dataset's check-ins.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training check-ins (the observed tensor `X`).
+    pub train: Vec<CheckIn>,
+    /// Held-out test check-ins.
+    pub test: Vec<CheckIn>,
+}
+
+/// Split `checkins` per user: each user's check-ins are shuffled and the
+/// first `train_fraction` go to train. Users with a single check-in keep it
+/// in train.
+pub fn train_test_split(
+    checkins: &[CheckIn],
+    n_users: usize,
+    train_fraction: f64,
+    seed: u64,
+) -> Split {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_user: Vec<Vec<CheckIn>> = vec![Vec::new(); n_users];
+    for c in checkins {
+        per_user[c.user].push(*c);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut list in per_user {
+        // Fisher–Yates shuffle.
+        for i in (1..list.len()).rev() {
+            list.swap(i, rng.gen_range(0..=i));
+        }
+        let n_train = if list.len() <= 1 {
+            list.len()
+        } else {
+            ((list.len() as f64 * train_fraction).round() as usize).clamp(1, list.len() - 1)
+        };
+        for (idx, c) in list.into_iter().enumerate() {
+            if idx < n_train {
+                train.push(c);
+            } else {
+                test.push(c);
+            }
+        }
+    }
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_checkins(per_user: &[usize]) -> Vec<CheckIn> {
+        let mut out = Vec::new();
+        for (u, &n) in per_user.iter().enumerate() {
+            for k in 0..n {
+                out.push(CheckIn {
+                    user: u,
+                    poi: k,
+                    month: (k % 12) as u8,
+                    week: (k % 53) as u8,
+                    hour: (k % 24) as u8,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn split_preserves_all_checkins() {
+        let cs = make_checkins(&[10, 5, 20]);
+        let s = train_test_split(&cs, 3, 0.8, 1);
+        assert_eq!(s.train.len() + s.test.len(), cs.len());
+    }
+
+    #[test]
+    fn split_ratio_approximately_respected() {
+        let cs = make_checkins(&[100]);
+        let s = train_test_split(&cs, 1, 0.8, 2);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.test.len(), 20);
+    }
+
+    #[test]
+    fn every_user_keeps_training_history() {
+        let cs = make_checkins(&[2, 3, 10]);
+        let s = train_test_split(&cs, 3, 0.5, 3);
+        for u in 0..3 {
+            assert!(
+                s.train.iter().any(|c| c.user == u),
+                "user {u} lost all training data"
+            );
+        }
+    }
+
+    #[test]
+    fn single_checkin_user_stays_in_train() {
+        let cs = make_checkins(&[1]);
+        let s = train_test_split(&cs, 1, 0.8, 4);
+        assert_eq!(s.train.len(), 1);
+        assert!(s.test.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cs = make_checkins(&[30, 30]);
+        let a = train_test_split(&cs, 2, 0.8, 7);
+        let b = train_test_split(&cs, 2, 0.8, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = train_test_split(&cs, 2, 0.8, 8);
+        assert_ne!(a.train, c.train); // different seed, different shuffle
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn rejects_bad_fraction() {
+        train_test_split(&[], 0, 1.5, 0);
+    }
+}

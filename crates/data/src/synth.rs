@@ -1,0 +1,544 @@
+//! Deterministic synthetic LBSN generator.
+//!
+//! See the crate docs and `DESIGN.md` §3 for the generative process and the
+//! rationale for each planted signal. All sampling is driven by a seeded
+//! `StdRng`, so every preset is fully reproducible.
+
+use crate::dataset::{Category, CheckIn, Dataset, Poi};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcss_geo::GeoPoint;
+use tcss_graph::SocialGraph;
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset name (presets use `<paper-dataset>-synth`).
+    pub name: String,
+    /// RNG seed; same seed ⇒ identical dataset.
+    pub seed: u64,
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of POIs.
+    pub n_pois: usize,
+    /// Number of geographic clusters POIs concentrate in.
+    pub n_clusters: usize,
+    /// Number of user interest communities.
+    pub n_communities: usize,
+    /// Mean check-ins per user (actual counts vary ±50%).
+    pub avg_checkins_per_user: usize,
+    /// Mean friends per user.
+    pub avg_friends: usize,
+    /// Probability a check-in copies a friend's earlier POI (plants the
+    /// social-Hausdorff signal).
+    pub social_copy_prob: f64,
+    /// Zipf exponent of POI popularity (plants the location-entropy signal).
+    pub zipf_exponent: f64,
+    /// Bounding box `(lon_min, lon_max, lat_min, lat_max)` in degrees.
+    pub bbox: (f64, f64, f64, f64),
+    /// Standard deviation of POI scatter around cluster centres (degrees).
+    pub cluster_sigma_deg: f64,
+    /// Relative frequency of [Shopping, Entertainment, Food, Outdoor] POIs.
+    pub category_weights: [f64; 4],
+    /// Multiplicative preference boost for POIs in the user's *home*
+    /// cluster (one of their community's preferred clusters). This plants
+    /// Tobler's-law locality: each user's check-ins concentrate
+    /// geographically, which Fig 12's case study and the zero-out ablation
+    /// both measure.
+    pub home_bias: f64,
+    /// Probability a friendship edge stays inside the interest community.
+    /// Cross-community friendships (the remainder) carry social signal that
+    /// no low-rank community structure can explain — exactly the signal the
+    /// social-Hausdorff head exists to exploit.
+    pub intra_community_prob: f64,
+    /// Size of each user's personal POI repertoire (the places they
+    /// habitually revisit). People return to the same POIs — this is what
+    /// makes individual check-ins predictable at all.
+    pub repertoire: usize,
+    /// Probability a (non-social-copy) check-in stays inside the
+    /// repertoire; the rest explore the community distribution.
+    pub repertoire_prob: f64,
+}
+
+/// Named presets mirroring the paper's four datasets at laptop scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthPreset {
+    /// Gowalla analogue: mid-size, strong social signal.
+    Gowalla,
+    /// Yelp analogue: the sparsest tensor (the paper attributes Yelp's lower
+    /// scores to its lower density).
+    Yelp,
+    /// Foursquare analogue: most users, slightly fewer POIs.
+    Foursquare,
+    /// GMU-5K analogue: the densest tensor (simulated patterns-of-life).
+    Gmu5k,
+}
+
+impl SynthPreset {
+    /// All presets in the paper's table order.
+    pub const ALL: [SynthPreset; 4] = [
+        SynthPreset::Gowalla,
+        SynthPreset::Yelp,
+        SynthPreset::Foursquare,
+        SynthPreset::Gmu5k,
+    ];
+
+    /// Label used in experiment printouts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SynthPreset::Gowalla => "Gowalla",
+            SynthPreset::Yelp => "Yelp",
+            SynthPreset::Foursquare => "Foursquare",
+            SynthPreset::Gmu5k => "GMU-5K",
+        }
+    }
+
+    /// The preset's generator configuration.
+    pub fn config(&self) -> SynthConfig {
+        let base = SynthConfig {
+            name: format!("{}-synth", self.label().to_lowercase()),
+            seed: 2022,
+            n_users: 200,
+            n_pois: 140,
+            n_clusters: 10,
+            n_communities: 8,
+            avg_checkins_per_user: 40,
+            avg_friends: 8,
+            social_copy_prob: 0.25,
+            zipf_exponent: 1.0,
+            bbox: (-98.0, -88.0, 30.0, 38.0),
+            cluster_sigma_deg: 0.15,
+            category_weights: [0.34, 0.30, 0.21, 0.15], // paper's Gowalla mix
+            home_bias: 6.0,
+            intra_community_prob: 0.6,
+            repertoire: 15,
+            repertoire_prob: 0.38,
+        };
+        // POI counts are kept well above the 100-negative protocol size so
+        // sampled negatives are mostly genuinely-unvisited POIs, matching
+        // the regime of the paper's datasets (thousands of POIs).
+        match self {
+            SynthPreset::Gowalla => SynthConfig {
+                n_users: 220,
+                n_pois: 520,
+                avg_checkins_per_user: 45,
+                seed: 2022,
+                ..base
+            },
+            SynthPreset::Yelp => SynthConfig {
+                name: "yelp-synth".into(),
+                n_users: 180,
+                n_pois: 500,
+                avg_checkins_per_user: 24, // sparsest
+                social_copy_prob: 0.22,
+                seed: 2023,
+                ..base
+            },
+            SynthPreset::Foursquare => SynthConfig {
+                name: "foursquare-synth".into(),
+                n_users: 240,
+                n_pois: 460,
+                avg_checkins_per_user: 40,
+                seed: 2024,
+                ..base
+            },
+            SynthPreset::Gmu5k => SynthConfig {
+                name: "gmu5k-synth".into(),
+                n_users: 120,
+                n_pois: 220,
+                n_clusters: 6,
+                n_communities: 5,
+                avg_checkins_per_user: 90, // densest
+                social_copy_prob: 0.30,
+                seed: 2025,
+                ..base
+            },
+        }
+    }
+
+    /// Generate the preset's dataset.
+    pub fn generate(&self) -> Dataset {
+        generate(&self.config())
+    }
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 ships no distributions).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample an index proportionally to `weights` (need not be normalized).
+fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Circular "von Mises-like" profile over `n` bins with the given peak and
+/// concentration: `w_b ∝ exp(κ · cos(2π (b − peak)/n))`.
+fn circular_profile(n: usize, peak: f64, kappa: f64) -> Vec<f64> {
+    (0..n)
+        .map(|b| {
+            (kappa * (2.0 * std::f64::consts::PI * (b as f64 - peak) / n as f64).cos()).exp()
+        })
+        .collect()
+}
+
+struct PoiProfile {
+    month: Vec<f64>,
+    hour: Vec<f64>,
+    popularity: f64,
+    cluster: usize,
+}
+
+/// Seasonal and daily visit profiles per category.
+///
+/// These plant the paper's Figs 4–7 signals: outdoor POIs are sharply
+/// seasonal (the paper finds the *strongest* performance there), food is
+/// nearly uniform over the year (weakest), and every category has a
+/// distinctive hour-of-day shape.
+fn category_profiles(cat: Category, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
+    let (peak_m, kappa_m) = match cat {
+        // Half the outdoor POIs peak in summer (m≈6), half in winter (m≈0).
+        Category::Outdoor => {
+            if rng.gen_bool(0.5) {
+                (6.0, 6.0)
+            } else {
+                (0.0, 6.0)
+            }
+        }
+        Category::Shopping => (11.0, 3.0), // holiday bump
+        Category::Entertainment => (rng.gen_range(0.0..12.0), 2.8),
+        Category::Food => (rng.gen_range(0.0..12.0), 0.9), // near-uniform
+    };
+    let (peak_h, kappa_h) = match cat {
+        Category::Outdoor => (10.0, 3.0),
+        Category::Shopping => (15.0, 2.5),
+        Category::Entertainment => (21.0, 3.5),
+        Category::Food => (13.0 + 6.0 * rng.gen_range(0.0..1.0), 2.0), // lunch..dinner
+    };
+    (
+        circular_profile(12, peak_m, kappa_m),
+        circular_profile(24, peak_h, kappa_h),
+    )
+}
+
+/// Generate a dataset from an explicit configuration.
+pub fn generate(cfg: &SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (lon_min, lon_max, lat_min, lat_max) = cfg.bbox;
+
+    // 1. Geographic cluster centres.
+    let centres: Vec<GeoPoint> = (0..cfg.n_clusters)
+        .map(|_| {
+            GeoPoint::new(
+                rng.gen_range(lon_min..lon_max),
+                rng.gen_range(lat_min..lat_max),
+            )
+        })
+        .collect();
+
+    // 2. POIs: cluster, scatter, category, popularity, time profiles.
+    let mut pois = Vec::with_capacity(cfg.n_pois);
+    let mut profiles = Vec::with_capacity(cfg.n_pois);
+    // Shuffle ranks for the Zipf popularity so popular POIs are spread
+    // across clusters and categories.
+    let mut ranks: Vec<usize> = (0..cfg.n_pois).collect();
+    for i in (1..ranks.len()).rev() {
+        ranks.swap(i, rng.gen_range(0..=i));
+    }
+    for &rank in ranks.iter().take(cfg.n_pois) {
+        let cluster = rng.gen_range(0..cfg.n_clusters);
+        let c = centres[cluster];
+        let location = GeoPoint::new(
+            (c.lon + normal(&mut rng) * cfg.cluster_sigma_deg).clamp(lon_min, lon_max),
+            (c.lat + normal(&mut rng) * cfg.cluster_sigma_deg).clamp(lat_min, lat_max),
+        );
+        let category = Category::ALL[weighted_choice(&mut rng, &cfg.category_weights)];
+        let (month, hour) = category_profiles(category, &mut rng);
+        pois.push(Poi { location, category });
+        profiles.push(PoiProfile {
+            month,
+            hour,
+            popularity: 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent),
+            cluster,
+        });
+    }
+
+    // 3. Communities: preferred clusters and a boosted category.
+    let community_of = |u: usize| u % cfg.n_communities;
+    let community_clusters: Vec<[usize; 2]> = (0..cfg.n_communities)
+        .map(|_| {
+            [
+                rng.gen_range(0..cfg.n_clusters),
+                rng.gen_range(0..cfg.n_clusters),
+            ]
+        })
+        .collect();
+    let community_category: Vec<Category> = (0..cfg.n_communities)
+        .map(|_| Category::ALL[rng.gen_range(0..4)])
+        .collect();
+
+    // 4. Social graph: mostly intra-community edges.
+    let mut social = SocialGraph::new(cfg.n_users);
+    let target_edges = cfg.n_users * cfg.avg_friends / 2;
+    let mut guard = 0;
+    while social.edge_count() < target_edges && guard < target_edges * 50 {
+        guard += 1;
+        let a = rng.gen_range(0..cfg.n_users);
+        let b = if rng.gen_bool(cfg.intra_community_prob) {
+            // Same community: members of community `c` are {c, c+C, c+2C, …}.
+            let com = community_of(a);
+            let members = (cfg.n_users - com).div_ceil(cfg.n_communities);
+            com + cfg.n_communities * rng.gen_range(0..members.max(1))
+        } else {
+            rng.gen_range(0..cfg.n_users)
+        };
+        let b = b.min(cfg.n_users - 1);
+        social.add_edge(a, b);
+    }
+
+    // Per-POI sampling weights for each community: popularity × cluster
+    // preference × category affinity.
+    let mut community_poi_weights: Vec<Vec<f64>> = Vec::with_capacity(cfg.n_communities);
+    for com in 0..cfg.n_communities {
+        let prefers = community_clusters[com];
+        let fav_cat = community_category[com];
+        let w = profiles
+            .iter()
+            .zip(pois.iter())
+            .map(|(prof, poi)| {
+                let cluster_boost = if prefers.contains(&prof.cluster) {
+                    4.0
+                } else {
+                    1.0
+                };
+                let cat_boost = if poi.category == fav_cat { 2.5 } else { 1.0 };
+                prof.popularity * cluster_boost * cat_boost
+            })
+            .collect();
+        community_poi_weights.push(w);
+    }
+
+    // 5. Check-ins, user by user, with social copying from friends that
+    //    already have history (lower user index). Each user first draws a
+    //    personal repertoire of habitually-revisited POIs (with a personal
+    //    Zipf weighting), which most non-social check-ins stay inside.
+    let mut checkins: Vec<CheckIn> = Vec::new();
+    let mut user_start = vec![0usize; cfg.n_users + 1];
+    for u in 0..cfg.n_users {
+        user_start[u] = checkins.len();
+        let com = community_of(u);
+        // Home cluster: one of the community's two preferred clusters.
+        let home = community_clusters[com][u / cfg.n_communities % 2];
+        let com_weights: Vec<f64> = community_poi_weights[com]
+            .iter()
+            .zip(profiles.iter())
+            .map(|(&w, prof)| {
+                if prof.cluster == home {
+                    w * cfg.home_bias
+                } else {
+                    w
+                }
+            })
+            .collect();
+        let com_weights = &com_weights;
+        let repertoire: Vec<usize> = (0..cfg.repertoire.max(1))
+            .map(|_| weighted_choice(&mut rng, com_weights))
+            .collect();
+        let repertoire_weights: Vec<f64> = (0..repertoire.len())
+            .map(|rank| 1.0 / (rank + 1) as f64)
+            .collect();
+        let lo = cfg.avg_checkins_per_user / 2;
+        let hi = cfg.avg_checkins_per_user * 3 / 2;
+        let n = rng.gen_range(lo..=hi.max(lo + 1));
+        for _ in 0..n {
+            let poi = if rng.gen_bool(cfg.social_copy_prob) {
+                // Copy a friend's earlier POI, if any friend has history.
+                let friends: Vec<usize> = social
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&f| f < u && user_start[f + 1] > user_start[f])
+                    .collect();
+                if friends.is_empty() {
+                    repertoire[weighted_choice(&mut rng, &repertoire_weights)]
+                } else {
+                    let f = friends[rng.gen_range(0..friends.len())];
+                    let pick = rng.gen_range(user_start[f]..user_start[f + 1]);
+                    checkins[pick].poi
+                }
+            } else if rng.gen_bool(cfg.repertoire_prob) {
+                repertoire[weighted_choice(&mut rng, &repertoire_weights)]
+            } else {
+                weighted_choice(&mut rng, com_weights)
+            };
+            let month = weighted_choice(&mut rng, &profiles[poi].month) as u8;
+            let hour = weighted_choice(&mut rng, &profiles[poi].hour) as u8;
+            // Week consistent with the month (~4.4 weeks per month).
+            let week = ((month as f64 * 4.42) as u8 + rng.gen_range(0..5)).min(52);
+            checkins.push(CheckIn {
+                user: u,
+                poi,
+                month,
+                week,
+                hour,
+            });
+        }
+        user_start[u + 1] = checkins.len();
+    }
+
+    Dataset {
+        name: cfg.name.clone(),
+        n_users: cfg.n_users,
+        pois,
+        checkins,
+        social,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Granularity;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SynthPreset::Gowalla.generate();
+        let b = SynthPreset::Gowalla.generate();
+        assert_eq!(a.checkins, b.checkins);
+        assert_eq!(a.social.edge_count(), b.social.edge_count());
+    }
+
+    #[test]
+    fn presets_have_declared_sizes() {
+        for preset in SynthPreset::ALL {
+            let cfg = preset.config();
+            let d = preset.generate();
+            assert_eq!(d.n_users, cfg.n_users);
+            assert_eq!(d.n_pois(), cfg.n_pois);
+            assert!(!d.checkins.is_empty());
+            // Every check-in is in range.
+            for c in &d.checkins {
+                assert!(c.user < d.n_users && c.poi < d.n_pois());
+                assert!(c.month < 12 && c.week < 53 && c.hour < 24);
+            }
+        }
+    }
+
+    #[test]
+    fn gmu5k_is_densest_yelp_sparsest() {
+        let densities: Vec<f64> = SynthPreset::ALL
+            .iter()
+            .map(|p| p.generate().tensor(Granularity::Month).density())
+            .collect();
+        let (gowalla, yelp, foursquare, gmu) =
+            (densities[0], densities[1], densities[2], densities[3]);
+        assert!(gmu > gowalla, "gmu {gmu} !> gowalla {gowalla}");
+        assert!(gmu > foursquare);
+        assert!(yelp < gowalla, "yelp {yelp} !< gowalla {gowalla}");
+    }
+
+    #[test]
+    fn outdoor_pois_are_more_seasonal_than_food() {
+        // Measure seasonality as the max/mean ratio of the month histogram.
+        let d = SynthPreset::Gowalla.generate();
+        let seasonality = |cat: Category| -> f64 {
+            let mut hist = [0.0f64; 12];
+            let mut total = 0.0;
+            for c in &d.checkins {
+                if d.pois[c.poi].category == cat {
+                    hist[c.month as usize] += 1.0;
+                    total += 1.0;
+                }
+            }
+            if total == 0.0 {
+                return 0.0;
+            }
+            let mean = total / 12.0;
+            hist.iter().cloned().fold(0.0, f64::max) / mean
+        };
+        let outdoor = seasonality(Category::Outdoor);
+        let food = seasonality(Category::Food);
+        assert!(
+            outdoor > food * 1.3,
+            "outdoor seasonality {outdoor} should exceed food {food}"
+        );
+    }
+
+    #[test]
+    fn friends_covisit_more_than_strangers() {
+        // The homophily signal the social Hausdorff head exploits: the
+        // Jaccard overlap of visited-POI sets is higher for friend pairs.
+        let d = SynthPreset::Gowalla.generate();
+        let mut visited: Vec<std::collections::HashSet<usize>> =
+            vec![std::collections::HashSet::new(); d.n_users];
+        for c in &d.checkins {
+            visited[c.user].insert(c.poi);
+        }
+        let jaccard = |a: usize, b: usize| -> f64 {
+            let inter = visited[a].intersection(&visited[b]).count() as f64;
+            let uni = visited[a].union(&visited[b]).count() as f64;
+            if uni == 0.0 {
+                0.0
+            } else {
+                inter / uni
+            }
+        };
+        let mut friend_sum = 0.0;
+        let mut friend_n = 0.0;
+        for (a, b) in d.social.edges() {
+            friend_sum += jaccard(a, b);
+            friend_n += 1.0;
+        }
+        // Strangers: shifted pairs, skipping actual friends.
+        let mut stranger_sum = 0.0;
+        let mut stranger_n = 0.0;
+        for a in 0..d.n_users {
+            let b = (a + d.n_users / 2 + 1) % d.n_users;
+            if a != b && !d.social.has_edge(a, b) {
+                stranger_sum += jaccard(a, b);
+                stranger_n += 1.0;
+            }
+        }
+        let friend_avg = friend_sum / friend_n;
+        let stranger_avg = stranger_sum / stranger_n;
+        assert!(
+            friend_avg > stranger_avg * 1.2,
+            "friend overlap {friend_avg} should exceed stranger overlap {stranger_avg}"
+        );
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = SynthPreset::Gowalla.generate();
+        let mut counts = vec![0usize; d.n_pois()];
+        for c in &d.checkins {
+            counts[c.poi] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts.iter().take(d.n_pois() / 10).sum();
+        let total: usize = counts.iter().sum();
+        // Zipf-ish: the top decile of POIs draws far more than its share.
+        assert!(
+            top10 as f64 > total as f64 * 0.25,
+            "top-decile share {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn social_graph_is_nontrivial() {
+        let d = SynthPreset::Gowalla.generate();
+        let with_friends = d.social.users_with_friends().len();
+        assert!(with_friends as f64 > d.n_users as f64 * 0.8);
+    }
+}

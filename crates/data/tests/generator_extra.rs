@@ -1,0 +1,156 @@
+//! Additional statistical checks of the synthetic LBSN generator — these
+//! pin the *planted signals* the experiments rely on, so a generator
+//! regression surfaces here rather than as a mysterious experiment shift.
+
+use tcss_data::{preprocess, synth, Category, Granularity, PreprocessConfig, SynthPreset};
+
+#[test]
+fn week_is_consistent_with_month() {
+    let d = SynthPreset::Gowalla.generate();
+    for c in &d.checkins {
+        // ~4.42 weeks per month; allow the +0..5 jitter the generator adds.
+        let base = (c.month as f64 * 4.42) as u8;
+        assert!(
+            c.week >= base && c.week <= base.saturating_add(5).min(52),
+            "week {} inconsistent with month {}",
+            c.week,
+            c.month
+        );
+    }
+}
+
+#[test]
+fn users_have_geographically_local_repertoires() {
+    // Tobler's law in the generated data: a user's median check-in distance
+    // to their own centroid is much smaller than the catalogue spread.
+    let d = SynthPreset::Gowalla.generate();
+    let dist = d.distance_matrix();
+    let catalogue_spread = dist.max_distance();
+    let mut local = 0usize;
+    let mut total = 0usize;
+    for u in 0..d.n_users {
+        let pois: Vec<usize> = d
+            .checkins
+            .iter()
+            .filter(|c| c.user == u)
+            .map(|c| c.poi)
+            .collect();
+        if pois.len() < 5 {
+            continue;
+        }
+        // Median pairwise distance within the user's visited POIs.
+        let mut pairwise = Vec::new();
+        for (idx, &a) in pois.iter().enumerate() {
+            for &b in &pois[idx + 1..] {
+                pairwise.push(dist.get(a, b));
+            }
+        }
+        pairwise.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = pairwise[pairwise.len() / 2];
+        total += 1;
+        if median < catalogue_spread * 0.5 {
+            local += 1;
+        }
+    }
+    assert!(
+        local as f64 > total as f64 * 0.6,
+        "only {local}/{total} users are geographically local"
+    );
+}
+
+#[test]
+fn all_presets_have_all_categories() {
+    for preset in SynthPreset::ALL {
+        let d = preset.generate();
+        for cat in Category::ALL {
+            let n = d.pois.iter().filter(|p| p.category == cat).count();
+            assert!(n > 0, "{}: no {} POIs", d.name, cat.label());
+        }
+    }
+}
+
+#[test]
+fn custom_config_is_respected() {
+    let cfg = synth::SynthConfig {
+        name: "tiny".into(),
+        n_users: 30,
+        n_pois: 20,
+        n_clusters: 2,
+        n_communities: 2,
+        avg_checkins_per_user: 10,
+        ..SynthPreset::Gowalla.config()
+    };
+    let d = synth::generate(&cfg);
+    assert_eq!(d.name, "tiny");
+    assert_eq!(d.n_users, 30);
+    assert_eq!(d.n_pois(), 20);
+    let per_user = d.checkins.len() as f64 / 30.0;
+    assert!((5.0..=16.0).contains(&per_user), "mean check-ins {per_user}");
+}
+
+#[test]
+fn preprocessing_is_idempotent() {
+    let d = SynthPreset::Yelp.generate();
+    let cfg = PreprocessConfig::default();
+    let once = preprocess(&d, &cfg);
+    let twice = preprocess(&once, &cfg);
+    assert_eq!(once.n_users, twice.n_users);
+    assert_eq!(once.n_pois(), twice.n_pois());
+    assert_eq!(once.checkins.len(), twice.checkins.len());
+}
+
+#[test]
+fn tensor_entries_match_checkin_cells() {
+    let d = SynthPreset::Gmu5k.generate();
+    let t = d.tensor(Granularity::Month);
+    // Every check-in has its cell set…
+    for c in d.checkins.iter().take(500) {
+        assert_eq!(t.get(c.user, c.poi, c.month as usize), 1.0);
+    }
+    // …and every entry traces back to at least one check-in.
+    let cells: std::collections::HashSet<(usize, usize, usize)> = d
+        .checkins
+        .iter()
+        .map(|c| (c.user, c.poi, c.month as usize))
+        .collect();
+    assert_eq!(t.nnz(), cells.len());
+}
+
+#[test]
+fn different_presets_are_different_datasets() {
+    let a = SynthPreset::Gowalla.generate();
+    let b = SynthPreset::Foursquare.generate();
+    assert_ne!(a.n_users, b.n_users);
+    assert_ne!(a.checkins.len(), b.checkins.len());
+}
+
+#[test]
+fn social_copies_create_shared_poi_visits() {
+    // With social_copy_prob > 0, a visible share of each user's POIs must
+    // also appear in some friend's history.
+    let d = SynthPreset::Gowalla.generate();
+    let mut visited: Vec<std::collections::HashSet<usize>> =
+        vec![std::collections::HashSet::new(); d.n_users];
+    for c in &d.checkins {
+        visited[c.user].insert(c.poi);
+    }
+    let mut shared = 0.0;
+    let mut total = 0.0;
+    for u in 0..d.n_users {
+        let friends = d.social.neighbors(u);
+        if friends.is_empty() {
+            continue;
+        }
+        for &j in &visited[u] {
+            total += 1.0;
+            if friends.iter().any(|&f| visited[f].contains(&j)) {
+                shared += 1.0;
+            }
+        }
+    }
+    assert!(
+        shared / total > 0.25,
+        "only {:.1}% of visited POIs shared with friends",
+        100.0 * shared / total
+    );
+}

@@ -1,0 +1,133 @@
+//! Diversity and coverage metrics for recommendation lists.
+//!
+//! The paper motivates its location-entropy weighting as a *diversity*
+//! mechanism ("a new French restaurant tends to have a higher weight …
+//! than Burger King") and illustrates it geographically in Fig 12. These
+//! metrics quantify that: how spread out, how novel, and how
+//! catalogue-covering the produced top-N lists are.
+
+use std::collections::HashSet;
+use tcss_geo::{haversine_km, GeoPoint};
+
+/// Mean pairwise geographic distance (km) within one recommendation list —
+/// "intra-list distance", the standard geographic diversity measure.
+/// Returns 0.0 for lists shorter than 2.
+pub fn intra_list_distance(list: &[usize], locations: &[GeoPoint]) -> f64 {
+    if list.len() < 2 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    let mut n = 0.0;
+    for (idx, &a) in list.iter().enumerate() {
+        for &b in &list[idx + 1..] {
+            acc += haversine_km(locations[a], locations[b]);
+            n += 1.0;
+        }
+    }
+    acc / n
+}
+
+/// Catalogue coverage: the fraction of all POIs that appear in at least
+/// one of the given recommendation lists.
+pub fn catalogue_coverage(lists: &[Vec<usize>], n_pois: usize) -> f64 {
+    if n_pois == 0 {
+        return 0.0;
+    }
+    let covered: HashSet<usize> = lists.iter().flatten().copied().collect();
+    covered.len() as f64 / n_pois as f64
+}
+
+/// Mean novelty of a list: the average `e_j = exp(−E_j)` entropy weight of
+/// its POIs. Higher means the list favours low-entropy POIs — places known
+/// to few users (the "tennis court", not the "Costco"), which is exactly
+/// what the paper's Eq 12 weighting promotes.
+pub fn mean_novelty(list: &[usize], entropy_weights: &[f64]) -> f64 {
+    if list.is_empty() {
+        return 0.0;
+    }
+    list.iter().map(|&j| entropy_weights[j]).sum::<f64>() / list.len() as f64
+}
+
+/// Gini coefficient of how recommendation exposure distributes over POIs
+/// (0 = perfectly even exposure, → 1 = all exposure on one POI). Computed
+/// over the concatenation of the given lists.
+pub fn exposure_gini(lists: &[Vec<usize>], n_pois: usize) -> f64 {
+    if n_pois == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0.0f64; n_pois];
+    let mut total = 0.0;
+    for list in lists {
+        for &j in list {
+            counts[j] += 1.0;
+            total += 1.0;
+        }
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    counts.sort_by(|a, b| a.partial_cmp(b).expect("counts finite"));
+    let n = n_pois as f64;
+    let mut cum = 0.0;
+    let mut weighted = 0.0;
+    for (rank, &c) in counts.iter().enumerate() {
+        cum += c;
+        weighted += (rank as f64 + 1.0) * c;
+    }
+    (2.0 * weighted) / (n * cum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<GeoPoint> {
+        (0..n).map(|i| GeoPoint::new(0.0, i as f64)).collect()
+    }
+
+    #[test]
+    fn intra_list_distance_grows_with_spread() {
+        let locs = line(10);
+        let tight = intra_list_distance(&[0, 1, 2], &locs);
+        let wide = intra_list_distance(&[0, 5, 9], &locs);
+        assert!(wide > tight);
+        assert_eq!(intra_list_distance(&[3], &locs), 0.0);
+        assert_eq!(intra_list_distance(&[], &locs), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_pois() {
+        let lists = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        assert!((catalogue_coverage(&lists, 6) - 0.5).abs() < 1e-12);
+        assert_eq!(catalogue_coverage(&[], 6), 0.0);
+        assert_eq!(catalogue_coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn novelty_prefers_low_entropy_pois() {
+        let e = vec![1.0, 0.1, 0.5];
+        assert!(mean_novelty(&[0], &e) > mean_novelty(&[1], &e));
+        assert!((mean_novelty(&[0, 2], &e) - 0.75).abs() < 1e-12);
+        assert_eq!(mean_novelty(&[], &e), 0.0);
+    }
+
+    #[test]
+    fn gini_zero_for_uniform_one_for_concentrated() {
+        // Uniform exposure over all POIs.
+        let uniform: Vec<Vec<usize>> = (0..4).map(|j| vec![j]).collect();
+        assert!(exposure_gini(&uniform, 4).abs() < 1e-12);
+        // All exposure on one POI out of many.
+        let concentrated = vec![vec![0, 0, 0, 0, 0, 0]];
+        let g = exposure_gini(&concentrated, 10);
+        assert!(g > 0.85, "gini {g}");
+        // Empty input.
+        assert_eq!(exposure_gini(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn gini_orders_skewness() {
+        let mild = vec![vec![0, 0, 1, 2, 3]];
+        let heavy = vec![vec![0, 0, 0, 0, 1]];
+        assert!(exposure_gini(&heavy, 4) > exposure_gini(&mild, 4));
+    }
+}

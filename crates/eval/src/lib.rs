@@ -1,0 +1,19 @@
+//! # tcss-eval
+//!
+//! The paper's evaluation protocol (§V-C):
+//!
+//! For every held-out interaction `(i, j, k)`, sample 100 random negative
+//! POIs, score the 101 candidates with the model, and rank the true POI.
+//! **Hit@10** is the fraction of test interactions ranked in the top 10;
+//! **MRR** averages reciprocal ranks per user first, then across users.
+//!
+//! Models plug in as plain closures `(user, poi, time) → score`, so every
+//! model family in the workspace (tensor completion, matrix completion with
+//! the time index ignored, sequence models with precomputed score tables)
+//! evaluates under the identical protocol.
+
+pub mod diversity;
+pub mod metrics;
+
+pub use diversity::{catalogue_coverage, exposure_gini, intra_list_distance, mean_novelty};
+pub use metrics::{evaluate_ranking, rmse_positive_negative, EvalConfig, RankingMetrics};

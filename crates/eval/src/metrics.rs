@@ -1,0 +1,270 @@
+//! Ranking metrics and RMSE under the paper's sampled-negative protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use tcss_data::{CheckIn, Granularity};
+
+/// Protocol parameters.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Number of sampled negative POIs per test interaction (paper: 100).
+    pub n_negatives: usize,
+    /// Cutoff for Hit@K (paper: 10).
+    pub k: usize,
+    /// Time granularity used to index the tensor.
+    pub granularity: Granularity,
+    /// RNG seed for negative sampling.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            n_negatives: 100,
+            k: 10,
+            granularity: Granularity::Month,
+            seed: 17,
+        }
+    }
+}
+
+/// Ranking evaluation results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingMetrics {
+    /// Fraction of test interactions whose true POI ranked in the top K.
+    pub hit_at_k: f64,
+    /// Mean reciprocal rank, averaged per user then across users (§V-C).
+    pub mrr: f64,
+    /// Number of test interactions evaluated.
+    pub n: usize,
+}
+
+/// Run the paper's ranking protocol over `test` interactions.
+///
+/// `score(i, j, k)` is the model's predicted score; models that ignore time
+/// (matrix completion) simply disregard `k`. Ties rank pessimistically
+/// (the true item is placed after equal-scoring negatives), so a constant
+/// model scores at chance level rather than artificially high.
+pub fn evaluate_ranking(
+    test: &[CheckIn],
+    n_pois: usize,
+    cfg: &EvalConfig,
+    score: impl Fn(usize, usize, usize) -> f64,
+) -> RankingMetrics {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut hits = 0usize;
+    // BTreeMap: deterministic iteration order makes the floating-point
+    // summation (and hence the reported MRR) reproducible run-to-run.
+    let mut per_user_rr: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+    for c in test {
+        let k_idx = cfg.granularity.index(c);
+        let true_score = score(c.user, c.poi, k_idx);
+        // Rank among `n_negatives` sampled POIs (uniform, excluding the
+        // target POI; duplicates allowed as in the usual implementation of
+        // this protocol).
+        let mut rank = 1usize;
+        for _ in 0..cfg.n_negatives {
+            let mut j = rng.gen_range(0..n_pois);
+            if j == c.poi {
+                j = (j + 1) % n_pois;
+            }
+            let s = score(c.user, j, k_idx);
+            if s >= true_score {
+                rank += 1;
+            }
+        }
+        if rank <= cfg.k {
+            hits += 1;
+        }
+        let e = per_user_rr.entry(c.user).or_insert((0.0, 0));
+        e.0 += 1.0 / rank as f64;
+        e.1 += 1;
+    }
+    let n = test.len();
+    let hit_at_k = if n == 0 { 0.0 } else { hits as f64 / n as f64 };
+    let mrr = if per_user_rr.is_empty() {
+        0.0
+    } else {
+        per_user_rr
+            .values()
+            .map(|&(sum, cnt)| sum / cnt as f64)
+            .sum::<f64>()
+            / per_user_rr.len() as f64
+    };
+    RankingMetrics { hit_at_k, mrr, n }
+}
+
+/// RMSE over positive test entries (target 1) and over an equal number of
+/// sampled unobserved entries (target 0) — the "RM positive / negative"
+/// columns of the paper's Table III.
+///
+/// `is_observed(i, j, k)` must answer for the union of train and test
+/// positives so sampled negatives are genuinely unobserved.
+pub fn rmse_positive_negative(
+    test: &[CheckIn],
+    n_pois: usize,
+    cfg: &EvalConfig,
+    score: impl Fn(usize, usize, usize) -> f64,
+    is_observed: impl Fn(usize, usize, usize) -> bool,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let mut pos_se = 0.0;
+    let mut neg_se = 0.0;
+    let mut n_neg = 0usize;
+    for c in test {
+        let k_idx = cfg.granularity.index(c);
+        let s = score(c.user, c.poi, k_idx);
+        pos_se += (1.0 - s) * (1.0 - s);
+        // One sampled negative per positive.
+        for _attempt in 0..64 {
+            let j = rng.gen_range(0..n_pois);
+            let k = rng.gen_range(0..cfg.granularity.len());
+            if !is_observed(c.user, j, k) {
+                let sn = score(c.user, j, k);
+                neg_se += sn * sn;
+                n_neg += 1;
+                break;
+            }
+        }
+    }
+    let n = test.len().max(1);
+    (
+        (pos_se / n as f64).sqrt(),
+        if n_neg == 0 {
+            0.0
+        } else {
+            (neg_se / n_neg as f64).sqrt()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(user: usize, poi: usize, month: u8) -> CheckIn {
+        CheckIn {
+            user,
+            poi,
+            month,
+            week: month * 4,
+            hour: 12,
+        }
+    }
+
+    #[test]
+    fn oracle_model_gets_perfect_metrics() {
+        // Score 1 on the true entries, 0 elsewhere.
+        let test = vec![mk(0, 3, 1), mk(1, 5, 2), mk(0, 7, 4)];
+        let truth: std::collections::HashSet<(usize, usize, usize)> = test
+            .iter()
+            .map(|c| (c.user, c.poi, c.month as usize))
+            .collect();
+        let m = evaluate_ranking(&test, 50, &EvalConfig::default(), |i, j, k| {
+            if truth.contains(&(i, j, k)) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        assert_eq!(m.hit_at_k, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.n, 3);
+    }
+
+    #[test]
+    fn constant_model_scores_at_chance() {
+        // Ties rank pessimistically → rank 101 always → no hits, tiny MRR.
+        let test: Vec<CheckIn> = (0..50).map(|u| mk(u % 5, u % 40, (u % 12) as u8)).collect();
+        let m = evaluate_ranking(&test, 40, &EvalConfig::default(), |_, _, _| 0.5);
+        assert_eq!(m.hit_at_k, 0.0);
+        assert!(m.mrr < 0.02);
+    }
+
+    #[test]
+    fn random_model_hits_near_ten_percent() {
+        // With 100 negatives and top-10, a random scorer hits ≈ 10/101.
+        let test: Vec<CheckIn> = (0..400)
+            .map(|s| mk(s % 20, s % 30, (s % 12) as u8))
+            .collect();
+        let m = evaluate_ranking(&test, 30, &EvalConfig::default(), |i, j, k| {
+            // Deterministic pseudo-random score (splitmix-style mixing).
+            let mut x = (i as u64) << 40 | (j as u64) << 20 | k as u64;
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+            x ^= x >> 31;
+            (x % 100003) as f64 / 100003.0
+        });
+        assert!(
+            (m.hit_at_k - 0.099).abs() < 0.05,
+            "hit@10 {} should be near 0.099",
+            m.hit_at_k
+        );
+    }
+
+    #[test]
+    fn mrr_is_per_user_averaged() {
+        // User 0 has two test entries (ranks 1 and 101); user 1 has one
+        // (rank 1). Per-user averaging: ((1 + ~0)/2 + 1)/2 ≈ 0.75, whereas
+        // global averaging would give (1 + ~0 + 1)/3 ≈ 0.67.
+        let test = vec![mk(0, 0, 0), mk(0, 1, 0), mk(1, 0, 0)];
+        let m = evaluate_ranking(&test, 20, &EvalConfig::default(), |_i, j, _k| {
+            if j == 0 {
+                10.0 // true POI 0 always wins; POI 1 always loses
+            } else if j == 1 {
+                -10.0
+            } else {
+                0.0
+            }
+        });
+        assert!((m.mrr - 0.7525).abs() < 0.01, "mrr {}", m.mrr);
+    }
+
+    #[test]
+    fn empty_test_set_is_zeroes() {
+        let m = evaluate_ranking(&[], 10, &EvalConfig::default(), |_, _, _| 0.0);
+        assert_eq!(m.hit_at_k, 0.0);
+        assert_eq!(m.mrr, 0.0);
+        assert_eq!(m.n, 0);
+    }
+
+    #[test]
+    fn rmse_perfect_model_is_zero_positive() {
+        let test = vec![mk(0, 1, 0), mk(1, 2, 3)];
+        let truth: std::collections::HashSet<(usize, usize, usize)> = test
+            .iter()
+            .map(|c| (c.user, c.poi, c.month as usize))
+            .collect();
+        let (pos, neg) = rmse_positive_negative(
+            &test,
+            10,
+            &EvalConfig::default(),
+            |i, j, k| {
+                if truth.contains(&(i, j, k)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+            |i, j, k| truth.contains(&(i, j, k)),
+        );
+        assert_eq!(pos, 0.0);
+        assert_eq!(neg, 0.0);
+    }
+
+    #[test]
+    fn rmse_constant_half_model() {
+        let test = vec![mk(0, 1, 0)];
+        let (pos, neg) = rmse_positive_negative(
+            &test,
+            10,
+            &EvalConfig::default(),
+            |_, _, _| 0.5,
+            |_, _, _| false,
+        );
+        assert!((pos - 0.5).abs() < 1e-12);
+        assert!((neg - 0.5).abs() < 1e-12);
+    }
+}

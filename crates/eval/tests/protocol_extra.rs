@@ -1,0 +1,158 @@
+//! Additional protocol tests: the evaluation must be fair, deterministic
+//! and sensitive in the ways the paper's comparisons assume.
+
+use tcss_data::{CheckIn, Granularity};
+use tcss_eval::{evaluate_ranking, rmse_positive_negative, EvalConfig, RankingMetrics};
+
+fn mk(user: usize, poi: usize, month: u8) -> CheckIn {
+    CheckIn {
+        user,
+        poi,
+        month,
+        week: month * 4,
+        hour: 12,
+    }
+}
+
+fn run(test: &[CheckIn], n_pois: usize, score: impl Fn(usize, usize, usize) -> f64) -> RankingMetrics {
+    evaluate_ranking(test, n_pois, &EvalConfig::default(), score)
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 7, s % 23, (s % 12) as u8)).collect();
+    let score = |i: usize, j: usize, k: usize| ((i * 31 + j * 17 + k) % 101) as f64;
+    let a = run(&test, 23, score);
+    let b = run(&test, 23, score);
+    assert_eq!(a.hit_at_k, b.hit_at_k);
+    assert_eq!(a.mrr, b.mrr);
+}
+
+#[test]
+fn different_eval_seeds_sample_different_negatives() {
+    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 7, s % 23, (s % 12) as u8)).collect();
+    let score = |i: usize, j: usize, k: usize| ((i * 31 + j * 17 + k) % 101) as f64;
+    let a = evaluate_ranking(&test, 23, &EvalConfig { seed: 1, ..Default::default() }, score);
+    let b = evaluate_ranking(&test, 23, &EvalConfig { seed: 2, ..Default::default() }, score);
+    assert!(a.hit_at_k != b.hit_at_k || a.mrr != b.mrr);
+}
+
+#[test]
+fn hit_at_k_monotone_in_k() {
+    let test: Vec<CheckIn> = (0..200).map(|s| mk(s % 9, s % 31, (s % 12) as u8)).collect();
+    let score = |i: usize, j: usize, k: usize| {
+        let mut x = (i as u64) << 32 | (j as u64) << 8 | k as u64;
+        x = x.wrapping_mul(0x9e3779b97f4a7c15);
+        (x >> 11) as f64
+    };
+    let mut prev = 0.0;
+    for k in [1usize, 5, 10, 50, 101] {
+        let m = evaluate_ranking(&test, 31, &EvalConfig { k, ..Default::default() }, score);
+        assert!(
+            m.hit_at_k >= prev - 1e-12,
+            "Hit@{k} = {} decreased from {prev}",
+            m.hit_at_k
+        );
+        prev = m.hit_at_k;
+    }
+    // At k = 101 (everything), Hit@k must be 1.
+    assert_eq!(prev, 1.0);
+}
+
+#[test]
+fn better_models_score_better() {
+    // A model that ranks the true POI with probability p above negatives
+    // should order strictly by p.
+    let truth: Vec<CheckIn> = (0..300).map(|s| mk(s % 10, s % 37, (s % 12) as u8)).collect();
+    let hits_for = |boost: f64| {
+        run(&truth, 37, |i, j, k| {
+            let is_true = truth
+                .iter()
+                .any(|c| c.user == i && c.poi == j && c.month as usize == k);
+            let mut x = (i * 97 + j * 13 + k) as u64;
+            x = x.wrapping_mul(0x9e3779b97f4a7c15);
+            let noise = ((x >> 40) as f64) / (1u64 << 24) as f64;
+            if is_true {
+                noise + boost
+            } else {
+                noise
+            }
+        })
+        .hit_at_k
+    };
+    let weak = hits_for(0.1);
+    let medium = hits_for(0.4);
+    let strong = hits_for(2.0);
+    assert!(weak < medium && medium < strong, "{weak} {medium} {strong}");
+    // `strong` is not exactly 1.0 because sampled negatives can themselves
+    // be true interactions of the same (user, month) and carry the boost.
+    assert!(strong > 0.7, "strong model only hit {strong}");
+}
+
+#[test]
+fn granularity_controls_time_index() {
+    let test = vec![mk(0, 3, 7)]; // week = 28, hour = 12
+    for (g, expect_k) in [
+        (Granularity::Month, 7usize),
+        (Granularity::Week, 28),
+        (Granularity::Hour, 12),
+    ] {
+        let seen = std::cell::Cell::new(usize::MAX);
+        let _ = evaluate_ranking(
+            &test,
+            10,
+            &EvalConfig {
+                granularity: g,
+                ..Default::default()
+            },
+            |_, _, k| {
+                seen.set(k);
+                0.0
+            },
+        );
+        assert_eq!(seen.get(), expect_k, "{}", g.label());
+    }
+}
+
+#[test]
+fn rmse_orders_calibrated_models() {
+    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 5, s % 20, (s % 12) as u8)).collect();
+    let truth: std::collections::HashSet<(usize, usize, usize)> = test
+        .iter()
+        .map(|c| (c.user, c.poi, c.month as usize))
+        .collect();
+    let rmse_for = |pos_score: f64| {
+        rmse_positive_negative(
+            &test,
+            20,
+            &EvalConfig::default(),
+            |i, j, k| {
+                if truth.contains(&(i, j, k)) {
+                    pos_score
+                } else {
+                    0.0
+                }
+            },
+            |i, j, k| truth.contains(&(i, j, k)),
+        )
+        .0
+    };
+    assert!(rmse_for(0.9) < rmse_for(0.5));
+    assert!(rmse_for(0.5) < rmse_for(0.1));
+}
+
+#[test]
+fn neg_infinity_scores_never_rank() {
+    // The ZeroOut ablation masks POIs to −∞; such a score must lose to
+    // every sampled negative (rank 101) and never be NaN-poisoned.
+    let test = vec![mk(0, 3, 7)];
+    let m = run(&test, 50, |_, j, _| {
+        if j == 3 {
+            f64::NEG_INFINITY
+        } else {
+            1.0
+        }
+    });
+    assert_eq!(m.hit_at_k, 0.0);
+    assert!(m.mrr > 0.0 && m.mrr < 0.02);
+}

@@ -1,0 +1,100 @@
+//! Location entropy (paper Eq 11) and the derived POI weights.
+//!
+//! A POI visited uniformly by many distinct users (a Costco) has high
+//! entropy and tells us little about social ties; a POI visited repeatedly
+//! by a small clique (a neighbourhood tennis court) has low entropy and is a
+//! strong social signal. TCSS multiplies Hausdorff distances by
+//! `e_j = exp(−E_j)` so low-entropy POIs dominate the social-spatial loss,
+//! which simultaneously diversifies recommendations.
+
+use std::collections::HashMap;
+
+/// Location entropy `E_j` for every POI (paper Eq 11):
+///
+/// `E_j = − Σ_{i : |Φ_{i,j}| > 0}  (|Φ_{i,j}| / |Φ_j|) · log(|Φ_{i,j}| / |Φ_j|)`
+///
+/// where `Φ_{i,j}` are user `i`'s check-ins at POI `j` and `Φ_j` all
+/// check-ins at `j`. `checkins` yields one `(user, poi)` pair per check-in
+/// event (duplicates are meaningful — they are repeat visits). POIs with no
+/// check-ins get entropy 0.
+pub fn location_entropy(
+    n_pois: usize,
+    checkins: impl IntoIterator<Item = (usize, usize)>,
+) -> Vec<f64> {
+    // Count visits per (poi, user).
+    let mut per_pair: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut per_poi: Vec<f64> = vec![0.0; n_pois];
+    for (user, poi) in checkins {
+        if poi >= n_pois {
+            continue;
+        }
+        *per_pair.entry((poi, user)).or_insert(0.0) += 1.0;
+        per_poi[poi] += 1.0;
+    }
+    let mut entropy = vec![0.0; n_pois];
+    for ((poi, _user), count) in per_pair {
+        let total = per_poi[poi];
+        let p = count / total;
+        entropy[poi] -= p * p.ln();
+    }
+    entropy
+}
+
+/// POI weights `e_j = exp(−E_j)` (the factor applied to both Hausdorff terms
+/// in Eq 12). Weights lie in `(0, 1]`: 1 for single-visitor POIs, small for
+/// POIs visited evenly by many users.
+pub fn entropy_weights(entropy: &[f64]) -> Vec<f64> {
+    entropy.iter().map(|&e| (-e).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_user_poi_has_zero_entropy() {
+        // One user visiting one POI (any number of times): p = 1, E = 0.
+        let e = location_entropy(2, vec![(0, 0), (0, 0), (0, 0)]);
+        assert!(e[0].abs() < 1e-12);
+        assert_eq!(e[1], 0.0);
+    }
+
+    #[test]
+    fn uniform_visitors_give_log_n() {
+        // n users each visiting once: E = ln(n).
+        let n = 8;
+        let checkins: Vec<(usize, usize)> = (0..n).map(|u| (u, 0)).collect();
+        let e = location_entropy(1, checkins);
+        assert!((e[0] - (n as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_visits_have_lower_entropy_than_uniform() {
+        // POI 0: uniform across 4 users. POI 1: one dominant user.
+        let mut checkins = Vec::new();
+        for u in 0..4 {
+            checkins.push((u, 0));
+        }
+        checkins.extend(vec![(0, 1); 97]);
+        checkins.push((1, 1));
+        checkins.push((2, 1));
+        checkins.push((3, 1));
+        let e = location_entropy(2, checkins);
+        assert!(e[1] < e[0], "skewed {} should be < uniform {}", e[1], e[0]);
+    }
+
+    #[test]
+    fn weights_are_in_unit_interval_and_monotone() {
+        let e = vec![0.0, 0.5, 2.0];
+        let w = entropy_weights(&e);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert!(w.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn out_of_range_pois_ignored() {
+        let e = location_entropy(1, vec![(0, 0), (0, 5)]);
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Uniform grid spatial index over POIs.
+//!
+//! Used to answer nearest-neighbour and radius queries without scanning all
+//! POIs: the social-Hausdorff precomputation needs, for every user, the
+//! nearest friend-visited POI to each candidate POI, and the Fig 12 case
+//! study needs cluster-radius statistics over recommended POIs.
+
+use crate::point::{haversine_km, GeoPoint};
+use std::collections::HashMap;
+
+/// A uniform longitude/latitude grid over a point set.
+///
+/// Cells are square in *degrees*; the ring-expansion search in
+/// [`GridIndex::nearest`] compensates for the lon/lat anisotropy by always
+/// verifying candidates with true haversine distances and expanding rings
+/// until the best candidate cannot be beaten.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_deg: f64,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    points: Vec<GeoPoint>,
+}
+
+impl GridIndex {
+    /// Build an index over `points` with the given cell size in degrees.
+    ///
+    /// A cell size around the typical nearest-neighbour spacing works well;
+    /// 0.05° (~5 km) suits city-scale POI sets.
+    pub fn new(points: &[GeoPoint], cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0, "cell size must be positive");
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (idx, p) in points.iter().enumerate() {
+            cells.entry(Self::cell_of(p, cell_deg)).or_default().push(idx);
+        }
+        GridIndex {
+            cell_deg,
+            cells,
+            points: points.to_vec(),
+        }
+    }
+
+    fn cell_of(p: &GeoPoint, cell_deg: f64) -> (i64, i64) {
+        (
+            (p.lon / cell_deg).floor() as i64,
+            (p.lat / cell_deg).floor() as i64,
+        )
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Index and distance (km) of the nearest indexed point to `q`.
+    ///
+    /// Returns `None` for an empty index. Ties break toward the lower index.
+    pub fn nearest(&self, q: GeoPoint) -> Option<(usize, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (cq_lon, cq_lat) = Self::cell_of(&q, self.cell_deg);
+        let mut best: Option<(usize, f64)> = None;
+        // Expand rings of cells until a ring's minimum possible distance
+        // exceeds the best found distance.
+        let max_ring = {
+            // Worst case: expand to cover the whole data set.
+            let span = 360.0 / self.cell_deg;
+            span.ceil() as i64 + 1
+        };
+        for ring in 0..max_ring {
+            let mut found_any = false;
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    // Only visit the ring's border cells (interior already done).
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue;
+                    }
+                    if let Some(list) = self.cells.get(&(cq_lon + dx, cq_lat + dy)) {
+                        found_any = true;
+                        for &idx in list {
+                            let d = haversine_km(q, self.points[idx]);
+                            match best {
+                                Some((bi, bd)) if d > bd || (d == bd && idx > bi) => {}
+                                _ => best = Some((idx, d)),
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, bd)) = best {
+                // Minimum possible distance of the *next* ring: (ring) cells
+                // away in latitude ≈ ring * cell_deg * 111 km. Conservative
+                // (latitude is the tighter direction).
+                let next_ring_min_km = ring as f64 * self.cell_deg * 110.0;
+                if bd <= next_ring_min_km {
+                    break;
+                }
+            }
+            // Keep expanding even when nothing found yet.
+            let _ = found_any;
+        }
+        best
+    }
+
+    /// Indices of all points within `radius_km` of `q`.
+    pub fn within_radius(&self, q: GeoPoint, radius_km: f64) -> Vec<usize> {
+        if self.points.is_empty() || radius_km < 0.0 {
+            return Vec::new();
+        }
+        // Conservative ring bound: 1° latitude ≈ 110 km.
+        let ring = ((radius_km / (self.cell_deg * 110.0)).ceil() as i64 + 1).max(1);
+        let (cq_lon, cq_lat) = Self::cell_of(&q, self.cell_deg);
+        let mut out = Vec::new();
+        for dx in -ring..=ring {
+            for dy in -ring..=ring {
+                if let Some(list) = self.cells.get(&(cq_lon + dx, cq_lat + dy)) {
+                    for &idx in list {
+                        if haversine_km(q, self.points[idx]) <= radius_km {
+                            out.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_nearest(points: &[GeoPoint], q: GeoPoint) -> Option<(usize, f64)> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, haversine_km(q, *p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    #[test]
+    fn empty_index() {
+        let g = GridIndex::new(&[], 0.1);
+        assert!(g.is_empty());
+        assert!(g.nearest(GeoPoint::new(0.0, 0.0)).is_none());
+        assert!(g.within_radius(GeoPoint::new(0.0, 0.0), 10.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let points: Vec<GeoPoint> = (0..200)
+            .map(|_| GeoPoint::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let g = GridIndex::new(&points, 0.1);
+        for _ in 0..50 {
+            let q = GeoPoint::new(rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2));
+            let (gi, gd) = g.nearest(q).unwrap();
+            let (bi, bd) = brute_nearest(&points, q).unwrap();
+            assert!(
+                (gd - bd).abs() < 1e-9,
+                "grid found {gi}@{gd}, brute {bi}@{bd}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_far_query_still_found() {
+        let points = vec![GeoPoint::new(0.0, 0.0)];
+        let g = GridIndex::new(&points, 0.05);
+        // Query several degrees away: requires many ring expansions.
+        let (i, d) = g.nearest(GeoPoint::new(3.0, 3.0)).unwrap();
+        assert_eq!(i, 0);
+        assert!(d > 300.0);
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let points: Vec<GeoPoint> = (0..100)
+            .map(|_| GeoPoint::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+            .collect();
+        let g = GridIndex::new(&points, 0.05);
+        let q = GeoPoint::new(0.0, 0.0);
+        let r = 20.0;
+        let got = g.within_radius(q, r);
+        let expect: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| haversine_km(q, **p) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn within_zero_radius_only_exact_matches() {
+        let points = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(0.1, 0.1)];
+        let g = GridIndex::new(&points, 0.05);
+        assert_eq!(g.within_radius(GeoPoint::new(0.0, 0.0), 0.0), vec![0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Householder QR decomposition and orthonormalization.
+//!
+//! The blocked orthogonal iteration in [`crate::eigen`] re-orthonormalizes
+//! its iterate every sweep; that is the main consumer of this module.
+
+use crate::{vector, LinalgError, Matrix, Result};
+
+/// Thin QR decomposition `A = Q R` with `Q: m × n` (orthonormal columns)
+/// and `R: n × n` upper triangular. Requires `m >= n`.
+pub fn qr_thin(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "rows >= cols for thin QR".to_string(),
+            got: format!("{m}x{n}"),
+        });
+    }
+    // Work on a column-major copy of A; apply Householder reflectors in place.
+    let mut r = a.clone();
+    // Store the reflectors to accumulate Q afterwards.
+    let mut reflectors: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // Build the Householder vector for column k, rows k..m.
+        let mut v: Vec<f64> = (k..m).map(|i| r.get(i, k)).collect();
+        let alpha = -v[0].signum() * vector::norm2(&v);
+        if alpha.abs() < f64::EPSILON {
+            // Column already zero below the diagonal: identity reflector.
+            reflectors.push(vec![0.0; m - k]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = vector::norm2(&v);
+        if vnorm > 0.0 {
+            vector::scale(&mut v, 1.0 / vnorm);
+        }
+        // Apply the reflector H = I - 2 v vᵀ to R's trailing block.
+        for j in k..n {
+            let mut proj = 0.0;
+            for (idx, i) in (k..m).enumerate() {
+                proj += v[idx] * r.get(i, j);
+            }
+            proj *= 2.0;
+            for (idx, i) in (k..m).enumerate() {
+                let val = r.get(i, j) - proj * v[idx];
+                r.set(i, j, val);
+            }
+        }
+        reflectors.push(v);
+    }
+    // Accumulate Q by applying the reflectors (in reverse) to the thin identity.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let v = &reflectors[k];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for j in 0..n {
+            let mut proj = 0.0;
+            for (idx, i) in (k..m).enumerate() {
+                proj += v[idx] * q.get(i, j);
+            }
+            proj *= 2.0;
+            for (idx, i) in (k..m).enumerate() {
+                let val = q.get(i, j) - proj * v[idx];
+                q.set(i, j, val);
+            }
+        }
+    }
+    // Extract the upper-triangular n×n block of R.
+    let mut r_out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out.set(i, j, r.get(i, j));
+        }
+    }
+    Ok((q, r_out))
+}
+
+/// Replace the columns of `a` with an orthonormal basis of their span.
+///
+/// Columns that are (numerically) linearly dependent are replaced by
+/// re-randomized directions orthogonal to the rest, so the result always has
+/// full column rank — orthogonal iteration relies on this to escape
+/// degenerate starting blocks.
+pub fn orthonormalize(a: &mut Matrix, rng: &mut impl rand::Rng) -> Result<()> {
+    let (m, n) = a.shape();
+    if m < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "rows >= cols".to_string(),
+            got: format!("{m}x{n}"),
+        });
+    }
+    // Modified Gram-Schmidt with re-randomization of rank-deficient columns.
+    for j in 0..n {
+        let mut col = a.col(j);
+        for prev in 0..j {
+            let p = a.col(prev);
+            let proj = vector::dot(&col, &p);
+            vector::axpy(-proj, &p, &mut col);
+        }
+        let mut norm = vector::normalize(&mut col);
+        let mut attempts = 0;
+        while norm < 1e-10 && attempts < 8 {
+            // Degenerate column: re-draw and re-orthogonalize.
+            for v in &mut col {
+                *v = rng.gen_range(-1.0..=1.0);
+            }
+            for prev in 0..j {
+                let p = a.col(prev);
+                let proj = vector::dot(&col, &p);
+                vector::axpy(-proj, &p, &mut col);
+            }
+            norm = vector::normalize(&mut col);
+            attempts += 1;
+        }
+        if norm < 1e-10 {
+            return Err(LinalgError::NoConvergence {
+                routine: "orthonormalize",
+                iterations: attempts,
+            });
+        }
+        a.set_col(j, &col)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn is_orthonormal(q: &Matrix, tol: f64) -> bool {
+        let g = q.gram();
+        g.approx_eq(&Matrix::identity(q.cols()), tol)
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ])
+        .unwrap();
+        let (q, r) = qr_thin(&a).unwrap();
+        assert!(is_orthonormal(&q, 1e-10));
+        let qr = q.matmul(&r).unwrap();
+        assert!(qr.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[1.0, 0.0, 1.0], &[4.0, 2.0, 1.0], &[0.5, 1.5, -2.0]])
+            .unwrap();
+        let (_, r) = qr_thin(&a).unwrap();
+        for i in 0..r.rows() {
+            for j in 0..i {
+                assert!(r.get(i, j).abs() < 1e-12, "below-diagonal entry not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrix() {
+        assert!(qr_thin(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn orthonormalize_produces_orthonormal_basis() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = Matrix::random_uniform(10, 4, 1.0, &mut rng);
+        orthonormalize(&mut a, &mut rng).unwrap();
+        assert!(is_orthonormal(&a, 1e-10));
+    }
+
+    #[test]
+    fn orthonormalize_recovers_from_duplicate_columns() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = Matrix::zeros(6, 3);
+        // Two identical columns + one zero column: rank 1 input.
+        for i in 0..6 {
+            a.set(i, 0, (i + 1) as f64);
+            a.set(i, 1, (i + 1) as f64);
+        }
+        orthonormalize(&mut a, &mut rng).unwrap();
+        assert!(is_orthonormal(&a, 1e-8));
+    }
+}

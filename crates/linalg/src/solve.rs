@@ -1,0 +1,126 @@
+//! Dense linear-system solver (Gaussian elimination with partial pivoting).
+//!
+//! Used by the ALS baselines (P-Tucker row updates solve one `r × r`
+//! normal-equation system per factor row).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Solve `A x = b` for square `A` by Gaussian elimination with partial
+/// pivoting. Returns an error for non-square systems or (numerically)
+/// singular matrices.
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square matrix".into(),
+            got: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("rhs of length {n}"),
+            got: format!("{}", b.len()),
+        });
+    }
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if m.get(row, col).abs() > m.get(pivot, col).abs() {
+                pivot = row;
+            }
+        }
+        let pv = m.get(pivot, col);
+        if pv.abs() < 1e-12 {
+            return Err(LinalgError::NoConvergence {
+                routine: "solve_linear_system (singular matrix)",
+                iterations: col,
+            });
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot, c));
+                m.set(pivot, c, tmp);
+            }
+            x.swap(col, pivot);
+        }
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = m.get(row, col) / m.get(col, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(row, c) - factor * m.get(col, c);
+                m.set(row, c, v);
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for c in (col + 1)..n {
+            acc -= m.get(col, c) * x[c];
+        }
+        x[col] = acc / m.get(col, col);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::identity(3);
+        let x = solve_linear_system(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_linear_system(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve_linear_system(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn residual_check_random_spd() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let b_mat = Matrix::random_uniform(5, 5, 1.0, &mut rng);
+        let a = {
+            // SPD: BᵀB + I.
+            let g = b_mat.gram();
+            g.add(&Matrix::identity(5)).unwrap()
+        };
+        let rhs: Vec<f64> = (0..5).map(|i| i as f64 + 1.0).collect();
+        let x = solve_linear_system(&a, &rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..5 {
+            assert!((ax[i] - rhs[i]).abs() < 1e-9);
+        }
+    }
+}

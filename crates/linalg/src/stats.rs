@@ -1,0 +1,127 @@
+//! Statistical helpers: cosine similarity (for the time-factor heatmaps of
+//! Figs 6–7), softmax, and simple summaries.
+
+use crate::{vector, Matrix, Result};
+
+/// Cosine similarity between two vectors; 0.0 when either has zero norm.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = vector::norm2(a);
+    let nb = vector::norm2(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        vector::dot(a, b) / (na * nb)
+    }
+}
+
+/// Pairwise cosine similarity between the **rows** of `m`.
+///
+/// For the paper's Fig 6 the rows are the time-unit embeddings `U³ₖ`; the
+/// output is the `K × K` heatmap matrix.
+pub fn cosine_similarity_matrix(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        out.set(i, i, 1.0);
+        for j in (i + 1)..n {
+            let s = cosine_similarity(m.row(i), m.row(j));
+            out.set(i, j, s);
+            out.set(j, i, s);
+        }
+    }
+    out
+}
+
+/// Numerically-stable softmax (subtracts the max before exponentiating).
+pub fn softmax(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Sample mean and (population) standard deviation.
+pub fn mean_std(x: &[f64]) -> (f64, f64) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = vector::mean(x);
+    let var = x.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / x.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Root-mean-squared error between paired predictions and targets.
+pub fn rmse(pred: &[f64], target: &[f64]) -> Result<f64> {
+    if pred.len() != target.len() {
+        return Err(crate::LinalgError::ShapeMismatch {
+            expected: format!("{} elements", target.len()),
+            got: format!("{} elements", pred.len()),
+        });
+    }
+    if pred.is_empty() {
+        return Ok(0.0);
+    }
+    let mse = pred
+        .iter()
+        .zip(target.iter())
+        .map(|(&p, &t)| (p - t).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64;
+    Ok(mse.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn similarity_matrix_symmetric_unit_diagonal() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let s = cosine_similarity_matrix(&m);
+        for i in 0..3 {
+            assert!((s.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12);
+            }
+        }
+        assert!((s.get(0, 1) - (1.0 / 2.0_f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1001.0, 1002.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let e = rmse(&[1.0, 2.0], &[0.0, 4.0]).unwrap();
+        assert!((e - (2.5_f64).sqrt()).abs() < 1e-12);
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert_eq!(rmse(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_constant_slice() {
+        let (m, s) = mean_std(&[2.0, 2.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Compressed sparse row (CSR) matrix.
+
+use tcss_linalg::Matrix;
+
+/// A CSR sparse matrix of `f64`.
+///
+/// Duplicate `(row, col)` triples are summed at construction. Columns within
+/// a row are sorted ascending, enabling `O(log nnz_row)` lookups.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from `(row, col, value)` triples; duplicates are summed.
+    pub fn from_triples(
+        rows: usize,
+        cols: usize,
+        mut triples: Vec<(usize, usize, f64)>,
+    ) -> Self {
+        triples.retain(|&(r, c, _)| r < rows && c < cols);
+        triples.sort_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates (sorted, so duplicates are adjacent).
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(triples.len());
+        for (r, c, v) in triples {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        // Counting sort into CSR arrays.
+        let mut row_ptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let (col_idx, values) = merged.into_iter().map(|(_, c, v)| (c, v)).unzip();
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(r, c)`; 0.0 when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate the stored `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(self.values[lo..hi].iter())
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Iterate all stored `(row, col, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// `y = self · x` (dense input/output).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ · x` without materializing the transpose.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                y[c] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Dense copy (test-scale only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            m.set(r, c, v);
+        }
+        m
+    }
+
+    /// Row sums (e.g. per-user check-in counts).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triples_and_get() {
+        let m = CsrMatrix::from_triples(3, 3, vec![(0, 1, 2.0), (2, 0, 1.0), (0, 2, 3.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_summed() {
+        let m = CsrMatrix::from_triples(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_triples_dropped() {
+        let m = CsrMatrix::from_triples(2, 2, vec![(5, 0, 1.0), (0, 0, 1.0)]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_iterators() {
+        let m = CsrMatrix::from_triples(4, 2, vec![(0, 0, 1.0), (3, 1, 2.0)]);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.row(3).count(), 1);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = CsrMatrix::from_triples(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, -1.0), (2, 2, 0.5)],
+        );
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = m.matvec(&x);
+        let dense = m.to_dense();
+        let y_dense = dense.matvec(&x).unwrap();
+        assert_eq!(y, y_dense);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_dense() {
+        let m = CsrMatrix::from_triples(3, 2, vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0)]);
+        let x = [1.0, 1.0, 1.0];
+        let y = m.matvec_transpose(&x);
+        let dense_t = m.to_dense().transpose();
+        let y_dense = dense_t.matvec(&x).unwrap();
+        assert_eq!(y, y_dense);
+    }
+
+    #[test]
+    fn row_sums_count_checkins() {
+        let m = CsrMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 1, 1.0), (1, 2, 4.0)]);
+        assert_eq!(m.row_sums(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn iter_is_row_major_sorted() {
+        let m = CsrMatrix::from_triples(2, 3, vec![(1, 2, 1.0), (0, 1, 1.0), (1, 0, 1.0)]);
+        let order: Vec<(usize, usize)> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(order, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! `tcss` — command-line interface to the TCSS reproduction.
+//!
+//! ```text
+//! tcss generate --preset gowalla --out data/gowalla     # write CSV dataset
+//! tcss train    --data data/gowalla --model m.tcss      # train, save model
+//! tcss recommend --data data/gowalla --model m.tcss --user 7 --month 5
+//! tcss evaluate --data data/gowalla --model m.tcss      # Hit@10 / MRR
+//! ```
+//!
+//! Datasets use the three-file CSV interchange format of `tcss_data::io`;
+//! models use the text format of `tcss_core::model_io`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tcss::core::{load_model, save_model, TcssConfig, TcssModel, TcssTrainer};
+use tcss::data::io::{load_dataset, save_dataset};
+use tcss::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  tcss generate  --preset <gowalla|yelp|foursquare|gmu-5k> --out <stem> [--no-preprocess]
+  tcss train     --data <stem> --model <file> [--epochs N] [--rank R] [--lambda L] [--seed S]
+  tcss recommend --data <stem> --model <file> --user U --month M [--top N]
+  tcss evaluate  --data <stem> --model <file> [--test-fraction F]
+
+<stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.";
+
+/// Pull `--flag value` out of the argument list; `None` when absent.
+fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn req<'a>(args: &'a [String], flag: &str) -> Result<&'a str, String> {
+    opt(args, flag).ok_or_else(|| format!("missing required {flag}"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {what}: {s:?}"))
+}
+
+fn has(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("recommend") => cmd_recommend(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(stem: &str) -> Result<Dataset, String> {
+    load_dataset(
+        Path::new(stem)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("dataset"),
+        Path::new(stem),
+    )
+    .map_err(|e| format!("loading dataset {stem:?}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let preset = match req(args, "--preset")?.to_ascii_lowercase().as_str() {
+        "gowalla" => SynthPreset::Gowalla,
+        "yelp" => SynthPreset::Yelp,
+        "foursquare" => SynthPreset::Foursquare,
+        "gmu-5k" | "gmu5k" | "gmu" => SynthPreset::Gmu5k,
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    let out = PathBuf::from(req(args, "--out")?);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        }
+    }
+    let mut data = preset.generate();
+    if !has(args, "--no-preprocess") {
+        data = preprocess(&data, &PreprocessConfig::default());
+    }
+    save_dataset(&data, &out).map_err(|e| format!("writing dataset: {e}"))?;
+    println!("{}", data.summary(Granularity::Month));
+    println!("wrote {}.{{pois,checkins,edges}}.csv", out.display());
+    Ok(())
+}
+
+fn training_config(args: &[String]) -> Result<TcssConfig, String> {
+    let mut cfg = TcssConfig::default();
+    if let Some(v) = opt(args, "--epochs") {
+        cfg.epochs = parse(v, "--epochs")?;
+    }
+    if let Some(v) = opt(args, "--rank") {
+        cfg.rank = parse(v, "--rank")?;
+    }
+    if let Some(v) = opt(args, "--lambda") {
+        cfg.lambda = parse(v, "--lambda")?;
+        if cfg.lambda == 0.0 {
+            cfg.hausdorff = tcss::core::HausdorffVariant::None;
+        }
+    }
+    if let Some(v) = opt(args, "--seed") {
+        cfg.seed = parse(v, "--seed")?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let data = load(req(args, "--data")?)?;
+    let model_path = PathBuf::from(req(args, "--model")?);
+    let cfg = training_config(args)?;
+    let epochs = cfg.epochs;
+    println!("{}", data.summary(Granularity::Month));
+    let trainer = TcssTrainer::new(&data, &data.checkins, Granularity::Month, cfg);
+    let t0 = std::time::Instant::now();
+    let model = trainer.train(|epoch, loss| {
+        if epoch == 0 || (epoch + 1) % 50 == 0 || epoch + 1 == epochs {
+            println!("epoch {:>4}: loss {loss:.2}", epoch + 1);
+        }
+    });
+    println!(
+        "trained {} parameters in {:.1}s",
+        model.num_params(),
+        t0.elapsed().as_secs_f64()
+    );
+    save_model(&model, &model_path).map_err(|e| format!("saving model: {e}"))?;
+    println!("model written to {}", model_path.display());
+    Ok(())
+}
+
+fn load_model_checked(path: &str, data: &Dataset) -> Result<TcssModel, String> {
+    let model = load_model(Path::new(path)).map_err(|e| format!("loading model: {e}"))?;
+    let (i, j, _) = model.dims();
+    if i != data.n_users || j != data.n_pois() {
+        return Err(format!(
+            "model was trained on {i} users × {j} POIs but the dataset has {} × {}",
+            data.n_users,
+            data.n_pois()
+        ));
+    }
+    Ok(model)
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), String> {
+    let data = load(req(args, "--data")?)?;
+    let model = load_model_checked(req(args, "--model")?, &data)?;
+    let user: usize = parse(req(args, "--user")?, "--user")?;
+    let month: usize = parse(req(args, "--month")?, "--month")?;
+    let top: usize = match opt(args, "--top") {
+        Some(v) => parse(v, "--top")?,
+        None => 10,
+    };
+    if user >= data.n_users {
+        return Err(format!("user {user} out of range (0..{})", data.n_users));
+    }
+    if month >= 12 {
+        return Err(format!("month {month} out of range (0..12)"));
+    }
+    println!("top-{top} POIs for user {user} in month {month}:");
+    for (rank, (poi, score)) in model.recommend(user, month, top).into_iter().enumerate() {
+        let p = &data.pois[poi];
+        println!(
+            "{:>3}. poi {poi:>5}  [{}]  ({:>9.4}, {:>8.4})  score {score:.4}",
+            rank + 1,
+            p.category.label(),
+            p.location.lon,
+            p.location.lat
+        );
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let data = load(req(args, "--data")?)?;
+    let model = load_model_checked(req(args, "--model")?, &data)?;
+    let fraction: f64 = match opt(args, "--test-fraction") {
+        Some(v) => parse(v, "--test-fraction")?,
+        None => 0.2,
+    };
+    if !(0.0..1.0).contains(&fraction) {
+        return Err("--test-fraction must be in [0, 1)".into());
+    }
+    let split = train_test_split(&data.checkins, data.n_users, 1.0 - fraction, 42);
+    let m = evaluate_ranking(
+        &split.test,
+        data.n_pois(),
+        &EvalConfig::default(),
+        |i, j, k| model.predict(i, j, k),
+    );
+    println!(
+        "Hit@10 = {:.4}, MRR = {:.4} over {} held-out interactions",
+        m.hit_at_k, m.mrr, m.n
+    );
+    println!(
+        "(note: if the model was trained on the full dataset, this measures \
+         reconstruction; train on a split for generalization numbers)"
+    );
+    Ok(())
+}

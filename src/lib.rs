@@ -1,0 +1,57 @@
+//! # tcss
+//!
+//! A from-scratch Rust reproduction of **TCSS** — *Time-sensitive POI
+//! Recommendation by Tensor Completion with Side Information* (Hui, Yan,
+//! Chen, Ku; ICDE 2022) — including every substrate the system depends on
+//! and all the baselines the paper evaluates against.
+//!
+//! This crate is the facade: it re-exports the workspace's crates and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Start with:
+//!
+//! ```no_run
+//! use tcss::prelude::*;
+//!
+//! // A synthetic LBSN mirroring the paper's Gowalla setup.
+//! let data = SynthPreset::Gowalla.generate();
+//! let data = preprocess(&data, &PreprocessConfig::default());
+//! let split = train_test_split(&data.checkins, data.n_users, 0.8, 42);
+//!
+//! // Train TCSS with the paper's configuration.
+//! let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+//! let model = trainer.train(|_, _| {});
+//!
+//! // Where should user 7 go in June?
+//! for (poi, score) in model.recommend(7, 5, 10) {
+//!     println!("POI {poi}: {score:.3}");
+//! }
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured record, and `crates/bench` for the binaries that
+//! regenerate every table and figure of the paper.
+
+pub use tcss_autodiff as autodiff;
+pub use tcss_baselines as baselines;
+pub use tcss_core as core;
+pub use tcss_data as data;
+pub use tcss_eval as eval;
+pub use tcss_geo as geo;
+pub use tcss_graph as graph;
+pub use tcss_linalg as linalg;
+pub use tcss_sparse as sparse;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use tcss_core::{
+        HausdorffVariant, InitMethod, LossStrategy, TcssConfig, TcssModel, TcssTrainer,
+    };
+    pub use tcss_data::{
+        preprocess, train_test_split, Category, CheckIn, Dataset, Granularity, Poi,
+        PreprocessConfig, Split, SynthPreset,
+    };
+    pub use tcss_eval::{evaluate_ranking, EvalConfig, RankingMetrics};
+    pub use tcss_geo::GeoPoint;
+    pub use tcss_graph::SocialGraph;
+    pub use tcss_sparse::SparseTensor3;
+}

@@ -1,0 +1,132 @@
+//! End-to-end tests of the `tcss` CLI binary: the full
+//! generate → train → recommend → evaluate loop through the executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcss"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tcss_cli_tests").join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn full_cli_roundtrip() {
+    let dir = workdir("roundtrip");
+    let stem = dir.join("gmu");
+    let model = dir.join("model.tcss");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--preset", "gmu-5k", "--out"])
+        .arg(&stem)
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stem.with_extension("").parent().unwrap().join("gmu.pois.csv").exists());
+
+    // train (few epochs; CLI paths, not model quality, are under test)
+    let out = bin()
+        .args(["train", "--epochs", "5", "--lambda", "0", "--data"])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("model written"), "{stdout}");
+
+    // recommend
+    let out = bin()
+        .args(["recommend", "--user", "0", "--month", "5", "--top", "3", "--data"])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run recommend");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("poi ").count(), 3, "{stdout}");
+
+    // evaluate
+    let out = bin()
+        .args(["evaluate", "--data"])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Hit@10"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_arguments_fail_with_usage() {
+    let out = bin().args(["train"]).output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--data"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = bin().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["--help"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn model_dataset_mismatch_is_detected() {
+    let dir = workdir("mismatch");
+    let gmu = dir.join("gmu");
+    let yelp = dir.join("yelp");
+    let model = dir.join("model.tcss");
+    assert!(bin()
+        .args(["generate", "--preset", "gmu-5k", "--out"])
+        .arg(&gmu)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["generate", "--preset", "yelp", "--out"])
+        .arg(&yelp)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["train", "--epochs", "2", "--lambda", "0", "--data"])
+        .arg(&gmu)
+        .arg("--model")
+        .arg(&model)
+        .status()
+        .unwrap()
+        .success());
+    // Evaluating the GMU model against the Yelp dataset must be rejected.
+    let out = bin()
+        .args(["evaluate", "--data"])
+        .arg(&yelp)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trained on"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration tests: the full pipeline from synthetic data
+//! generation through preprocessing, training, recommendation and
+//! evaluation — the path every example and experiment binary takes.
+
+use tcss::prelude::*;
+
+/// A small, fast configuration shared by these tests.
+fn fast_cfg() -> TcssConfig {
+    TcssConfig {
+        epochs: 60,
+        hausdorff_every: 5,
+        ..Default::default()
+    }
+}
+
+fn gmu() -> (Dataset, Split) {
+    let raw = SynthPreset::Gmu5k.generate();
+    let data = preprocess(&raw, &PreprocessConfig::default());
+    let split = train_test_split(&data.checkins, data.n_users, 0.8, 1);
+    (data, split)
+}
+
+#[test]
+fn full_pipeline_beats_chance_decisively() {
+    let (data, split) = gmu();
+    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, fast_cfg());
+    let model = trainer.train(|_, _| {});
+    let metrics = evaluate_ranking(
+        &split.test,
+        data.n_pois(),
+        &EvalConfig::default(),
+        |i, j, k| model.predict(i, j, k),
+    );
+    // Chance level for Hit@10 with 100 negatives is ~0.10.
+    assert!(
+        metrics.hit_at_k > 0.45,
+        "TCSS Hit@10 {} too close to chance",
+        metrics.hit_at_k
+    );
+    assert!(metrics.mrr > 0.2, "TCSS MRR {} too weak", metrics.mrr);
+}
+
+#[test]
+fn recommendations_are_ranked_and_novel_capable() {
+    let (data, split) = gmu();
+    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, fast_cfg());
+    let model = trainer.train(|_, _| {});
+    let rec = model.recommend(0, 6, 20);
+    assert_eq!(rec.len(), 20);
+    for w in rec.windows(2) {
+        assert!(w[0].1 >= w[1].1, "recommendations not sorted");
+    }
+    // Distinct POIs.
+    let set: std::collections::HashSet<usize> = rec.iter().map(|&(j, _)| j).collect();
+    assert_eq!(set.len(), 20);
+}
+
+#[test]
+fn training_loss_is_monotone_ish() {
+    let (data, split) = gmu();
+    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, fast_cfg());
+    let mut losses = Vec::new();
+    trainer.train_detailed(|ctx| losses.push(ctx.l2));
+    // First quarter average must exceed last quarter average.
+    let q = losses.len() / 4;
+    let head: f64 = losses[..q].iter().sum::<f64>() / q as f64;
+    let tail: f64 = losses[losses.len() - q..].iter().sum::<f64>() / q as f64;
+    assert!(tail < head, "loss did not trend down: {head} -> {tail}");
+}
+
+#[test]
+fn category_slices_train_end_to_end() {
+    let raw = SynthPreset::Gmu5k.generate();
+    for cat in Category::ALL {
+        let sliced = raw.filter_category(cat);
+        let data = preprocess(
+            &sliced,
+            &PreprocessConfig {
+                min_checkins: 5,
+                ..Default::default()
+            },
+        );
+        if data.n_users < 12 || data.n_pois() < 12 {
+            continue; // slice too thin to train rank-10 factors
+        }
+        let split = train_test_split(&data.checkins, data.n_users, 0.8, 2);
+        let trainer = TcssTrainer::new(
+            &data,
+            &split.train,
+            Granularity::Month,
+            TcssConfig {
+                epochs: 25,
+                hausdorff_every: 5,
+                ..Default::default()
+            },
+        );
+        let model = trainer.train(|_, _| {});
+        assert!(model.predict(0, 0, 0).is_finite(), "{} slice broke", cat.label());
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_training_behaviour() {
+    let (data, split) = gmu();
+    let dir = std::env::temp_dir().join("tcss_e2e_csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("ds");
+    tcss::data::io::save_dataset(&data, &stem).unwrap();
+    let reloaded = tcss::data::io::load_dataset(&data.name, &stem).unwrap();
+    // Identical training tensor ⇒ identical deterministic training.
+    let cfg = TcssConfig {
+        epochs: 10,
+        ..Default::default()
+    };
+    let m1 = TcssTrainer::new(&data, &split.train, Granularity::Month, cfg.clone()).train(|_, _| {});
+    let m2 =
+        TcssTrainer::new(&reloaded, &split.train, Granularity::Month, cfg).train(|_, _| {});
+    for i in (0..data.n_users).step_by(17) {
+        for j in (0..data.n_pois()).step_by(13) {
+            assert!((m1.predict(i, j, 3) - m2.predict(i, j, 3)).abs() < 1e-12);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_granularities_work() {
+    let (data, split) = gmu();
+    for g in [Granularity::Month, Granularity::Week, Granularity::Hour] {
+        let trainer = TcssTrainer::new(
+            &data,
+            &split.train,
+            g,
+            TcssConfig {
+                epochs: 15,
+                hausdorff_every: 5,
+                ..Default::default()
+            },
+        );
+        let model = trainer.train(|_, _| {});
+        let metrics = evaluate_ranking(
+            &split.test,
+            data.n_pois(),
+            &EvalConfig {
+                granularity: g,
+                ..Default::default()
+            },
+            |i, j, k| model.predict(i, j, k),
+        );
+        assert!(
+            metrics.hit_at_k > 0.15,
+            "{} granularity Hit@10 {} at or below chance",
+            g.label(),
+            metrics.hit_at_k
+        );
+    }
+}
