@@ -81,12 +81,78 @@ pub fn check_gradients(
     }
 }
 
+/// Check caller-provided analytic gradients against central finite
+/// differences, for losses computed *outside* the tape.
+///
+/// This is the tape-free counterpart of [`check_gradients`], used by the
+/// hand-derived TCSS heads (`tcss-core`'s rewritten loss and social
+/// Hausdorff head): `forward` evaluates the scalar loss for the current
+/// `theta`, and `analytic` is the full gradient at the unperturbed point,
+/// one value per coordinate of `theta`. The same [`GradCheckReport`]
+/// accounting (and `passes` tolerance rule) applies.
+pub fn check_gradients_fn(
+    theta: &mut [f64],
+    analytic: &[f64],
+    h: f64,
+    mut forward: impl FnMut(&[f64]) -> f64,
+) -> GradCheckReport {
+    assert_eq!(
+        theta.len(),
+        analytic.len(),
+        "analytic gradient must have one entry per parameter coordinate"
+    );
+    let mut max_abs = 0.0f64;
+    let mut max_rel = 0.0f64;
+    for c in 0..theta.len() {
+        let orig = theta[c];
+        theta[c] = orig + h;
+        let fp = forward(theta);
+        theta[c] = orig - h;
+        let fm = forward(theta);
+        theta[c] = orig;
+        let numeric = (fp - fm) / (2.0 * h);
+        let exact = analytic[c];
+        let abs = (numeric - exact).abs();
+        let rel = abs / numeric.abs().max(exact.abs()).max(1e-8);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        coords: theta.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::layers::{Activation, Dense};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn gradcheck_fn_matches_hand_gradient() {
+        // f(x, y) = x²y + y³ → ∇f = (2xy, x² + 3y²).
+        let mut theta = [1.3f64, -0.7];
+        let (x, y) = (theta[0], theta[1]);
+        let analytic = [2.0 * x * y, x * x + 3.0 * y * y];
+        let report = check_gradients_fn(&mut theta, &analytic, 1e-6, |t| {
+            t[0] * t[0] * t[1] + t[1] * t[1] * t[1]
+        });
+        assert!(report.passes(1e-7), "{report:?}");
+        assert_eq!(report.coords, 2);
+        // Parameters restored after perturbation.
+        assert_eq!(theta, [1.3, -0.7]);
+    }
+
+    #[test]
+    fn gradcheck_fn_flags_wrong_gradient() {
+        let mut theta = [2.0f64];
+        let analytic = [5.0]; // true derivative of x² at 2 is 4
+        let report = check_gradients_fn(&mut theta, &analytic, 1e-6, |t| t[0] * t[0]);
+        assert!(!report.passes(1e-5), "{report:?}");
+    }
 
     #[test]
     fn gradcheck_simple_polynomial() {

@@ -58,7 +58,7 @@ pub mod params;
 pub mod tape;
 pub mod tensor;
 
-pub use gradcheck::check_gradients;
+pub use gradcheck::{check_gradients, check_gradients_fn, GradCheckReport};
 pub use params::{ParamId, ParamSet};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -234,12 +234,7 @@ impl Tape {
     // Activations and elementwise functions
     // ------------------------------------------------------------------
 
-    fn unary(
-        &self,
-        a: Var,
-        f: impl Fn(f64) -> f64,
-        backward: BackwardFn,
-    ) -> Var {
+    fn unary(&self, a: Var, f: impl Fn(f64) -> f64, backward: BackwardFn) -> Var {
         let va = self.nodes.borrow()[a.0].value.clone();
         self.push(va.map(f), vec![a.0], Some(backward))
     }
@@ -429,9 +424,7 @@ impl Tape {
         self.push(
             out,
             vec![a.0],
-            Some(Box::new(move |_out, g, _pv| {
-                vec![g.reshaped(&old_shape)]
-            })),
+            Some(Box::new(move |_out, g, _pv| vec![g.reshaped(&old_shape)])),
         )
     }
 
@@ -496,15 +489,11 @@ impl Tape {
                 let mut ga = vec![0.0; m * p];
                 let mut gb = vec![0.0; m * q];
                 for i in 0..m {
-                    ga[i * p..(i + 1) * p]
-                        .copy_from_slice(&g.data()[i * (p + q)..i * (p + q) + p]);
+                    ga[i * p..(i + 1) * p].copy_from_slice(&g.data()[i * (p + q)..i * (p + q) + p]);
                     gb[i * q..(i + 1) * q]
                         .copy_from_slice(&g.data()[i * (p + q) + p..(i + 1) * (p + q)]);
                 }
-                vec![
-                    Tensor::from_vec(&[m, p], ga),
-                    Tensor::from_vec(&[m, q], gb),
-                ]
+                vec![Tensor::from_vec(&[m, p], ga), Tensor::from_vec(&[m, q], gb)]
             })),
         )
     }
@@ -850,7 +839,10 @@ mod tests {
     #[test]
     fn transpose_roundtrip_gradient() {
         let tape = Tape::new();
-        let a = tape.constant(Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f64).collect()));
+        let a = tape.constant(Tensor::from_vec(
+            &[2, 3],
+            (0..6).map(|v| v as f64).collect(),
+        ));
         let t = tape.transpose(a);
         assert_eq!(tape.value(t).shape(), &[3, 2]);
         let loss = tape.sum(t);

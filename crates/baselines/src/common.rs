@@ -7,10 +7,7 @@ use tcss_sparse::SparseTensor3;
 
 /// Sample one unobserved `(i, j, k)` cell (uniform with rejection; gives up
 /// after 32 rejections, which only matters for near-dense toy tensors).
-pub fn sample_negative(
-    tensor: &SparseTensor3,
-    rng: &mut StdRng,
-) -> (usize, usize, usize) {
+pub fn sample_negative(tensor: &SparseTensor3, rng: &mut StdRng) -> (usize, usize, usize) {
     let (i_dim, j_dim, k_dim) = tensor.dims();
     for _ in 0..32 {
         let cell = (
@@ -62,8 +59,8 @@ mod tests {
 
     #[test]
     fn negatives_are_unobserved() {
-        let t = SparseTensor3::from_entries((4, 4, 4), vec![(0, 0, 0, 1.0), (1, 1, 1, 1.0)])
-            .unwrap();
+        let t =
+            SparseTensor3::from_entries((4, 4, 4), vec![(0, 0, 0, 1.0), (1, 1, 1, 1.0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let (i, j, k) = sample_negative(&t, &mut rng);
@@ -74,9 +71,27 @@ mod tests {
     #[test]
     fn sequences_are_chronological() {
         let cs = vec![
-            CheckIn { user: 0, poi: 1, month: 5, week: 21, hour: 9 },
-            CheckIn { user: 0, poi: 2, month: 1, week: 5, hour: 3 },
-            CheckIn { user: 1, poi: 0, month: 0, week: 0, hour: 0 },
+            CheckIn {
+                user: 0,
+                poi: 1,
+                month: 5,
+                week: 21,
+                hour: 9,
+            },
+            CheckIn {
+                user: 0,
+                poi: 2,
+                month: 1,
+                week: 5,
+                hour: 3,
+            },
+            CheckIn {
+                user: 1,
+                poi: 0,
+                month: 0,
+                week: 0,
+                hour: 0,
+            },
         ];
         let seqs = user_sequences(&cs, 2);
         assert_eq!(seqs[0].len(), 2);

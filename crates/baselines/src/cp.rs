@@ -106,15 +106,15 @@ impl CpModel {
             g2.iter_mut().for_each(|v| *v = 0.0);
             g3.iter_mut().for_each(|v| *v = 0.0);
             let accumulate = |i: usize,
-                                  j: usize,
-                                  k: usize,
-                                  target: f64,
-                                  u1: &Matrix,
-                                  u2: &Matrix,
-                                  u3: &Matrix,
-                                  g1: &mut [f64],
-                                  g2: &mut [f64],
-                                  g3: &mut [f64]| {
+                              j: usize,
+                              k: usize,
+                              target: f64,
+                              u1: &Matrix,
+                              u2: &Matrix,
+                              u3: &Matrix,
+                              g1: &mut [f64],
+                              g2: &mut [f64],
+                              g3: &mut [f64]| {
                 let (a, b, c) = (u1.row(i), u2.row(j), u3.row(k));
                 let pred: f64 = (0..r).map(|t| a[t] * b[t] * c[t]).sum();
                 let e = 2.0 * (pred - target);
@@ -125,7 +125,9 @@ impl CpModel {
                 }
             };
             for e in tensor.entries() {
-                accumulate(e.i, e.j, e.k, e.value, &u1, &u2, &u3, &mut g1, &mut g2, &mut g3);
+                accumulate(
+                    e.i, e.j, e.k, e.value, &u1, &u2, &u3, &mut g1, &mut g2, &mut g3,
+                );
                 for _ in 0..cfg.negatives_per_positive {
                     let (ni, nj, nk) = sample_negative(tensor, &mut rng);
                     accumulate(ni, nj, nk, 0.0, &u1, &u2, &u3, &mut g1, &mut g2, &mut g3);

@@ -52,8 +52,8 @@ impl Mcco {
         let rank = cfg.max_rank.min(n.min(m));
         for _ in 0..cfg.iters {
             // Refill: observed cells from data, the rest from the model.
-            let svd = truncated_svd(&current, rank, &OrthIterConfig::default())
-                .expect("rank clamped");
+            let svd =
+                truncated_svd(&current, rank, &OrthIterConfig::default()).expect("rank clamped");
             // Soft-threshold the singular values.
             let shrunk: Vec<f64> = svd.sigma.iter().map(|&s| (s - cfg.tau).max(0.0)).collect();
             let mut next = Matrix::zeros(n, m);
@@ -72,8 +72,7 @@ impl Mcco {
             current = next;
         }
         // Final smooth completion (no hard refill) for scoring.
-        let svd = truncated_svd(&current, rank, &OrthIterConfig::default())
-            .expect("rank clamped");
+        let svd = truncated_svd(&current, rank, &OrthIterConfig::default()).expect("rank clamped");
         let completed = svd.reconstruct().expect("shapes agree");
         Mcco { completed }
     }

@@ -177,10 +177,7 @@ impl PTucker {
                         }
                         for c in 0..r {
                             for cp in 0..r {
-                                acc += core_at(a, b, c)
-                                    * core_at(ap, bp, cp)
-                                    * gbb
-                                    * gc.get(c, cp);
+                                acc += core_at(a, b, c) * core_at(ap, bp, cp) * gbb * gc.get(c, cp);
                             }
                         }
                     }

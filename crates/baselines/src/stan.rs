@@ -77,10 +77,8 @@ impl Stan {
                 let k_idx = model.granularity.index(&last);
                 let mut logits: Option<Var> = None;
                 let mut targets = Vec::new();
-                for (target_poi, label) in [
-                    (last.poi, 1.0),
-                    (rng.gen_range(0..data.n_pois()), 0.0),
-                ] {
+                for (target_poi, label) in [(last.poi, 1.0), (rng.gen_range(0..data.n_pois()), 0.0)]
+                {
                     let q = model.poi_out.forward(&tape, &model.params, &[target_poi]);
                     let tq = model.time_emb.forward(&tape, &model.params, &[k_idx]);
                     let pred = tape.add(z, tq);
@@ -134,7 +132,7 @@ impl Stan {
         let scores = tape.scale(tape.matmul(q, kt), 1.0 / (d as f64).sqrt());
         let attn = tape.row_softmax(scores);
         let out = tape.matmul(attn, v); // T × d
-        // Mean pooling: (1/T) · 1ᵀ out.
+                                        // Mean pooling: (1/T) · 1ᵀ out.
         let ones = tape.constant(Tensor::filled(&[1, seq.len()], 1.0 / seq.len() as f64));
         tape.matmul(ones, out)
     }

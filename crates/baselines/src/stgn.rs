@@ -98,10 +98,8 @@ impl Stgn {
                 let k_idx = model.granularity.index(&last);
                 let mut logits: Option<Var> = None;
                 let mut targets = Vec::new();
-                for (target_poi, label) in [
-                    (last.poi, 1.0),
-                    (rng.gen_range(0..data.n_pois()), 0.0),
-                ] {
+                for (target_poi, label) in [(last.poi, 1.0), (rng.gen_range(0..data.n_pois()), 0.0)]
+                {
                     let q = model.poi_out.forward(&tape, &model.params, &[target_poi]);
                     let tq = model.time_emb.forward(&tape, &model.params, &[k_idx]);
                     let pred = tape.add(h, tq);

@@ -98,13 +98,9 @@ impl Strnn {
                 // Predict the last event from the state before it.
                 let last = seq[seq.len() - 1];
                 let k_idx = model.granularity.index(&last);
-                for (target_poi, label) in [
-                    (last.poi, 1.0),
-                    (rng.gen_range(0..data.n_pois()), 0.0),
-                ] {
-                    let q = model
-                        .poi_out
-                        .forward(&tape, &model.params, &[target_poi]);
+                for (target_poi, label) in [(last.poi, 1.0), (rng.gen_range(0..data.n_pois()), 0.0)]
+                {
+                    let q = model.poi_out.forward(&tape, &model.params, &[target_poi]);
                     let tq = model.time_emb.forward(&tape, &model.params, &[k_idx]);
                     let pred = tape.add(h, tq);
                     let dot = tape.sum(tape.mul(pred, q));
@@ -160,17 +156,14 @@ impl Strnn {
         // Consume all events except the last (the prediction target).
         let upto = seq.len().saturating_sub(1);
         for t in 0..upto {
-            let e = tape.gather_rows(
-                tape.param(&self.params, self.poi_emb.table),
-                &[seq[t].poi],
-            );
+            let e = tape.gather_rows(tape.param(&self.params, self.poi_emb.table), &[seq[t].poi]);
             // Interpolation weights from the *previous* event.
             let (a, b) = if t == 0 {
                 (0.0, 0.0)
             } else {
                 let geo = dist.get(seq[t - 1].poi, seq[t].poi) / d_max;
-                let gap = ((time_of(&seq[t]) - time_of(&seq[t - 1])).abs() / max_gap)
-                    .clamp(0.0, 1.0);
+                let gap =
+                    ((time_of(&seq[t]) - time_of(&seq[t - 1])).abs() / max_gap).clamp(0.0, 1.0);
                 (geo, gap)
             };
             let w_interp = tape.add(tape.scale(wn, 1.0 - a), tape.scale(wf, a));

@@ -55,9 +55,18 @@ impl TuckerModel {
             for buf in [&mut g1, &mut g2, &mut g3, &mut gc] {
                 buf.iter_mut().for_each(|v| *v = 0.0);
             }
-            let accumulate = |i: usize, j: usize, k: usize, target: f64,
-                                  u1: &Matrix, u2: &Matrix, u3: &Matrix, core: &[f64],
-                                  g1: &mut [f64], g2: &mut [f64], g3: &mut [f64], gc: &mut [f64]| {
+            let accumulate = |i: usize,
+                              j: usize,
+                              k: usize,
+                              target: f64,
+                              u1: &Matrix,
+                              u2: &Matrix,
+                              u3: &Matrix,
+                              core: &[f64],
+                              g1: &mut [f64],
+                              g2: &mut [f64],
+                              g3: &mut [f64],
+                              gc: &mut [f64]| {
                 let (a, b, c) = (u1.row(i), u2.row(j), u3.row(k));
                 // Forward.
                 let mut pred = 0.0;
@@ -87,12 +96,15 @@ impl TuckerModel {
                 }
             };
             for e in tensor.entries() {
-                accumulate(e.i, e.j, e.k, e.value, &u1, &u2, &u3, &core,
-                           &mut g1, &mut g2, &mut g3, &mut gc);
+                accumulate(
+                    e.i, e.j, e.k, e.value, &u1, &u2, &u3, &core, &mut g1, &mut g2, &mut g3,
+                    &mut gc,
+                );
                 for _ in 0..cfg.negatives_per_positive {
                     let (ni, nj, nk) = sample_negative(tensor, &mut rng);
-                    accumulate(ni, nj, nk, 0.0, &u1, &u2, &u3, &core,
-                               &mut g1, &mut g2, &mut g3, &mut gc);
+                    accumulate(
+                        ni, nj, nk, 0.0, &u1, &u2, &u3, &core, &mut g1, &mut g2, &mut g3, &mut gc,
+                    );
                 }
             }
             for (g, w) in [
@@ -110,7 +122,13 @@ impl TuckerModel {
             adam3.step(u3.as_mut_slice(), &g3, cfg.learning_rate);
             adam_core.step(&mut core, &gc, cfg.learning_rate);
         }
-        TuckerModel { u1, u2, u3, core, r }
+        TuckerModel {
+            u1,
+            u2,
+            u3,
+            core,
+            r,
+        }
     }
 
     /// Predicted score (Eq 2).

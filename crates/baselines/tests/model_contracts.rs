@@ -4,11 +4,12 @@
 //! keeps Table I comparisons meaningful.
 
 use tcss_baselines::{
-    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig,
-    ptucker::PTuckerConfig, CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn,
-    Strnn, TuckerModel,
+    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig, ptucker::PTuckerConfig,
+    CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn, Strnn, TuckerModel,
 };
-use tcss_data::{preprocess, train_test_split, Dataset, Granularity, PreprocessConfig, Split, SynthPreset};
+use tcss_data::{
+    preprocess, train_test_split, Dataset, Granularity, PreprocessConfig, Split, SynthPreset,
+};
 use tcss_eval::{evaluate_ranking, EvalConfig};
 
 fn shared() -> (Dataset, Split) {
@@ -34,7 +35,12 @@ fn fast_cp() -> CpConfig {
     }
 }
 
-fn check_contract(name: &str, data: &Dataset, split: &Split, score: impl Fn(usize, usize, usize) -> f64) {
+fn check_contract(
+    name: &str,
+    data: &Dataset,
+    split: &Split,
+    score: impl Fn(usize, usize, usize) -> f64,
+) {
     // Finite everywhere (sampled).
     for i in (0..data.n_users).step_by(13) {
         for j in (0..data.n_pois()).step_by(17) {
@@ -131,7 +137,7 @@ fn matrix_models_ignore_time_sequence_models_use_it() {
     assert_eq!(lfbca.score(0, 1, 0), lfbca.score(0, 1, 7));
     // Tensor models differentiate time units for at least some cells.
     let cp = CpModel::fit(&data, &split.train, Granularity::Month, &fast_cp());
-    let differs = (0..data.n_users.min(20))
-        .any(|i| (cp.score(i, 0, 0) - cp.score(i, 0, 6)).abs() > 1e-9);
+    let differs =
+        (0..data.n_users.min(20)).any(|i| (cp.score(i, 0, 0) - cp.score(i, 0, 6)).abs() > 1e-9);
     assert!(differs, "CP never differentiates time units");
 }

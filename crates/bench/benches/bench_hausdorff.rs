@@ -4,13 +4,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tcss_bench::prepare;
-use tcss_core::{Grads, SocialHausdorffHead, TcssConfig, TcssTrainer};
 use tcss_core::config::HausdorffVariant;
+use tcss_core::{Grads, SocialHausdorffHead, TcssConfig, TcssTrainer};
 use tcss_data::SynthPreset;
 
 fn bench_hausdorff(c: &mut Criterion) {
     let p = prepare(SynthPreset::Gowalla);
-    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig::default(),
+    );
     let model = trainer.init_model();
     let head = SocialHausdorffHead::new(
         &p.data,

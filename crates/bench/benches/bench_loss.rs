@@ -12,7 +12,12 @@ use tcss_data::SynthPreset;
 
 fn bench_loss(c: &mut Criterion) {
     let p = prepare(SynthPreset::Gowalla);
-    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig::default(),
+    );
     let model = trainer.init_model();
     let mut group = c.benchmark_group("l2_loss");
     group.sample_size(10);

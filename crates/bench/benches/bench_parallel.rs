@@ -1,0 +1,61 @@
+//! Serial vs parallel epoch cost of the deterministic parallel engine.
+//!
+//! One "epoch" here is the full gradient computation of a training step:
+//! the rewritten L₂ loss (Eq 15) plus the social-Hausdorff head (Eqs 9–13)
+//! — exactly what `TcssTrainer::train_model` evaluates per iteration. The
+//! same work runs pinned to 1 worker and pinned to 4 workers through
+//! `tcss_linalg::set_num_threads`; the deterministic-reduction contract
+//! guarantees both produce bit-identical gradients, so any delta is pure
+//! scheduling. Results land in `BENCH_parallel_epoch.json` (mean/min/max
+//! per benchmark). On a single-core host the two timings coincide — the
+//! speedup column is only meaningful where the hardware has ≥4 cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tcss_bench::prepare;
+use tcss_core::{
+    rewritten_loss_and_grad, HausdorffVariant, SocialHausdorffHead, TcssConfig, TcssTrainer,
+};
+use tcss_data::SynthPreset;
+use tcss_linalg::set_num_threads;
+
+fn bench_parallel(c: &mut Criterion) {
+    let p = prepare(SynthPreset::Gowalla);
+    let trainer = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig::default(),
+    );
+    let model = trainer.init_model();
+    let head = SocialHausdorffHead::new(
+        &p.data,
+        &p.split.train,
+        HausdorffVariant::Social,
+        Default::default(),
+        None,
+    );
+    // The expensive epoch of `train_model`: rewritten L₂ + the full head.
+    let full_epoch = |threads: usize| {
+        set_num_threads(Some(threads));
+        let cfg = &trainer.config;
+        let (l2, mut grads) =
+            rewritten_loss_and_grad(&model, trainer.tensor.entries(), cfg.w_plus, cfg.w_minus);
+        let l1 = head.loss_and_grad(&model, &mut grads, cfg.lambda);
+        set_num_threads(None);
+        (l2, l1, grads)
+    };
+
+    let mut group = c.benchmark_group("parallel_epoch");
+    group.sample_size(10);
+    group.bench_function("epoch_serial_1thread", |b| {
+        b.iter(|| black_box(full_epoch(1)))
+    });
+    group.bench_function("epoch_parallel_4threads", |b| {
+        b.iter(|| black_box(full_epoch(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -18,7 +18,9 @@ fn bench_spectral(c: &mut Criterion) {
         b.iter(|| black_box(spectral_init(&tensor, 10, 1)))
     });
     group.bench_function("random", |b| b.iter(|| black_box(random_init(dims, 10, 1))));
-    group.bench_function("one_hot", |b| b.iter(|| black_box(onehot_init(dims, 10, 1))));
+    group.bench_function("one_hot", |b| {
+        b.iter(|| black_box(onehot_init(dims, 10, 1)))
+    });
     group.finish();
 }
 

@@ -21,7 +21,10 @@ fn main() {
                 ..Default::default()
             };
             let res = run_tcss(&p, cfg);
-            println!("{:>4} {:>8.4} {:>8.4}", r, res.metrics.hit_at_k, res.metrics.mrr);
+            println!(
+                "{:>4} {:>8.4} {:>8.4}",
+                r, res.metrics.hit_at_k, res.metrics.mrr
+            );
         }
     }
 }

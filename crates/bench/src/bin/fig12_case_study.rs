@@ -27,7 +27,12 @@ fn spread_stats(points: &[GeoPoint]) -> (f64, f64) {
 
 fn main() {
     let p = prepare(SynthPreset::Gowalla);
-    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig::default(),
+    );
     let model = trainer.train(|_, _| {});
 
     // All-POI reference spread.
@@ -78,7 +83,11 @@ fn main() {
                 .filter_map(|&j| dist.min_to_set(j, &visited[user]))
                 .collect();
             ds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            if ds.is_empty() { 0.0 } else { ds[ds.len() / 2] }
+            if ds.is_empty() {
+                0.0
+            } else {
+                ds[ds.len() / 2]
+            }
         };
         let top20: Vec<usize> = top200.iter().take(20).map(|&(j, _)| j).collect();
         let catalogue: Vec<usize> = (0..p.data.n_pois()).collect();
@@ -92,7 +101,10 @@ fn main() {
         println!("  top-10 POIs (lon, lat, score):");
         for &(j, s) in top200.iter().take(10) {
             let loc = p.data.pois[j].location;
-            println!("    poi {j:>4}  ({:>9.4}, {:>8.4})  {s:>7.4}", loc.lon, loc.lat);
+            println!(
+                "    poi {j:>4}  ({:>9.4}, {:>8.4})  {s:>7.4}",
+                loc.lon, loc.lat
+            );
         }
     }
 

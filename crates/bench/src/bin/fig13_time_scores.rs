@@ -13,11 +13,21 @@ use tcss_data::SynthPreset;
 
 fn main() {
     let p = prepare(SynthPreset::Gowalla);
-    let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        TcssConfig::default(),
+    );
     let tcss = trainer.train(|_, _| {});
     let cp = CpModel::fit(&p.data, &p.split.train, p.granularity, &CpConfig::default());
     let tucker = TuckerModel::fit(&p.data, &p.split.train, p.granularity, &CpConfig::default());
-    let ncf = Ncf::fit(&p.data, &p.split.train, p.granularity, &NeuralConfig::default());
+    let ncf = Ncf::fit(
+        &p.data,
+        &p.split.train,
+        p.granularity,
+        &NeuralConfig::default(),
+    );
 
     // (a) an observed train entry the model fits well (the paper picks "a
     // randomly selected observed entry"; we additionally require a decent
@@ -51,10 +61,7 @@ fn main() {
             ),
             (obs.user, obs.poi),
         ),
-        (
-            format!("(b) negative entry: user {ni}, poi {nj}"),
-            (ni, nj),
-        ),
+        (format!("(b) negative entry: user {ni}, poi {nj}"), (ni, nj)),
     ] {
         println!("\n{tag}");
         println!("{:<8} scores for months 0..12", "model");

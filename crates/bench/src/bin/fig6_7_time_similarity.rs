@@ -12,10 +12,7 @@ use tcss_core::{TcssConfig, TcssTrainer};
 use tcss_data::{preprocess, Category, Granularity, PreprocessConfig, SynthPreset};
 use tcss_linalg::cosine_similarity_matrix;
 
-fn train_time_factors(
-    data: &tcss_data::Dataset,
-    g: Granularity,
-) -> tcss_linalg::Matrix {
+fn train_time_factors(data: &tcss_data::Dataset, g: Granularity) -> tcss_linalg::Matrix {
     let p = prepare_dataset("slice", data.clone(), g);
     let trainer = TcssTrainer::new(&p.data, &p.split.train, g, TcssConfig::default());
     let model = trainer.train(|_, _| {});
@@ -91,7 +88,10 @@ fn main() {
     for g in [Granularity::Month, Granularity::Week, Granularity::Hour] {
         let u3 = train_time_factors(&shopping, g);
         let sim = cosine_similarity_matrix(&u3);
-        print_heatmap(&format!("--- granularity: {} (K = {}) ---", g.label(), g.len()), &sim);
+        print_heatmap(
+            &format!("--- granularity: {} (K = {}) ---", g.label(), g.len()),
+            &sim,
+        );
     }
 
     println!("\n=== Fig 7: month-factor similarity by category ===");

@@ -34,10 +34,9 @@ fn main() {
             };
             let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, cfg);
             let model = trainer.train(|_, _| {});
-            let metrics =
-                evaluate_ranking(&p.split.test, p.data.n_pois(), &p.eval, |i, j, k| {
-                    model.predict(i, j, k)
-                });
+            let metrics = evaluate_ranking(&p.split.test, p.data.n_pois(), &p.eval, |i, j, k| {
+                model.predict(i, j, k)
+            });
             let (rm_pos, rm_neg) = rmse_positive_negative(
                 &p.split.test,
                 p.data.n_pois(),

@@ -20,18 +20,25 @@ fn main() {
         "{:<28} {:>14} {:>14} {:>14}",
         "Method", "Gowalla", "Yelp", "Foursquare"
     );
-    let presets = [SynthPreset::Gowalla, SynthPreset::Yelp, SynthPreset::Foursquare];
-    let prepared: Vec<_> = presets.iter().map(|&pr| {
-        let p = prepare(pr);
-        let trainer = tcss_core::TcssTrainer::new(
-            &p.data,
-            &p.split.train,
-            p.granularity,
-            tcss_core::TcssConfig::default(),
-        );
-        let model = trainer.init_model();
-        (trainer, model)
-    }).collect();
+    let presets = [
+        SynthPreset::Gowalla,
+        SynthPreset::Yelp,
+        SynthPreset::Foursquare,
+    ];
+    let prepared: Vec<_> = presets
+        .iter()
+        .map(|&pr| {
+            let p = prepare(pr);
+            let trainer = tcss_core::TcssTrainer::new(
+                &p.data,
+                &p.split.train,
+                p.granularity,
+                tcss_core::TcssConfig::default(),
+            );
+            let model = trainer.init_model();
+            (trainer, model)
+        })
+        .collect();
 
     let time = |f: &mut dyn FnMut()| -> f64 {
         // Median of 5 runs.

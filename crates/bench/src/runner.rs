@@ -3,9 +3,8 @@
 
 use std::time::Instant;
 use tcss_baselines::{
-    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig,
-    ptucker::PTuckerConfig, CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn,
-    Strnn, TuckerModel,
+    cp::CpConfig, lfbca::LfbcaConfig, mcco::MccoConfig, ncf::NeuralConfig, ptucker::PTuckerConfig,
+    CoStCo, CpModel, Lfbca, Mcco, Ncf, Ntm, PTucker, PureSvd, Stan, Stgn, Strnn, TuckerModel,
 };
 use tcss_core::{TcssConfig, TcssTrainer};
 use tcss_data::{
@@ -51,11 +50,7 @@ pub fn prepare_with(preset: SynthPreset, granularity: Granularity) -> Prepared {
 
 /// Prepare an explicit dataset (already generated/filtered) without
 /// additional preprocessing — used by the per-category experiments.
-pub fn prepare_dataset(
-    label: &'static str,
-    data: Dataset,
-    granularity: Granularity,
-) -> Prepared {
+pub fn prepare_dataset(label: &'static str, data: Dataset, granularity: Granularity) -> Prepared {
     let split = train_test_split(&data.checkins, data.n_users, 0.8, 42);
     Prepared {
         label,
@@ -197,12 +192,7 @@ pub fn run_model(name: ModelName, p: &Prepared) -> ModelResult {
             Box::new(move |i, j, k| m.score(i, j, k))
         }
         ModelName::Tucker => {
-            let m = TuckerModel::fit(
-                &p.data,
-                &p.split.train,
-                p.granularity,
-                &CpConfig::default(),
-            );
+            let m = TuckerModel::fit(&p.data, &p.split.train, p.granularity, &CpConfig::default());
             Box::new(move |i, j, k| m.score(i, j, k))
         }
         ModelName::PTucker => {

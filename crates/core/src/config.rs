@@ -92,6 +92,12 @@ pub struct TcssConfig {
     /// The head is the most expensive term; values >1 trade fidelity for
     /// speed and are only used by the large parameter sweeps.
     pub hausdorff_every: usize,
+    /// Worker threads for the parallel loss/Hausdorff/linalg kernels.
+    /// `None` defers to the `TCSS_NUM_THREADS` environment variable and
+    /// then to the machine's available parallelism. Thanks to the
+    /// deterministic-reduction contract in `tcss_linalg::parallel`, this
+    /// knob changes wall-clock time only — never a single bit of output.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for TcssConfig {
@@ -113,6 +119,7 @@ impl Default for TcssConfig {
             zero_out_sigma: 0.01,
             seed: 7,
             hausdorff_every: 3,
+            num_threads: None,
         }
     }
 }

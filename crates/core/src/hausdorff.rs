@@ -137,61 +137,39 @@ impl SocialHausdorffHead {
     /// Forward value of `L₁` (sum over users of Eq 12).
     pub fn loss(&self, model: &TcssModel) -> f64 {
         let (n_users, _, _) = model.dims();
-        (0..n_users).map(|i| self.user_loss_grad(model, i, None)).sum()
+        (0..n_users)
+            .map(|i| self.user_loss_grad(model, i, None))
+            .sum()
     }
+
+    /// Users per parallel chunk. One user's gradient touches every POI in
+    /// the candidate set, so even a handful of users is enough work to
+    /// amortize a per-chunk `Grads` buffer.
+    const USERS_PER_CHUNK: usize = 8;
 
     /// `L₁` and its gradient, scaled by `scale` (= λ), accumulated into
     /// `grads`. Returns the unscaled loss value.
     ///
     /// The per-user terms of Eq 13 are independent, so they are computed in
-    /// parallel (crossbeam scoped threads, one gradient buffer per worker,
-    /// merged at the end). Results are identical to the sequential sum up
-    /// to floating-point reassociation; with ≤ a few hundred users the
-    /// nondeterminism is below 1e-12 and covered by the equivalence test.
+    /// parallel through [`tcss_linalg::parallel::map_chunks`]: users are cut
+    /// into fixed chunks, each chunk accumulates into a private
+    /// `Grads`-shaped buffer, and buffers are merged in chunk order. Under
+    /// the deterministic-reduction contract the result is bit-for-bit
+    /// identical for every thread count (the parity test pins this).
     pub fn loss_and_grad(&self, model: &TcssModel, grads: &mut Grads, scale: f64) -> f64 {
         let (n_users, _, _) = model.dims();
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(n_users.max(1))
-            .min(8);
-        if n_workers <= 1 || n_users < 32 {
+        let partials = tcss_linalg::map_chunks(n_users, Self::USERS_PER_CHUNK, |range| {
+            let mut local = Grads::zeros(model);
             let mut total = 0.0;
-            for i in 0..n_users {
-                total += self.user_loss_grad(model, i, Some((grads, scale)));
+            for i in range {
+                total += self.user_loss_grad(model, i, Some((&mut local, scale)));
             }
-            return total;
-        }
-        let next_user = std::sync::atomic::AtomicUsize::new(0);
-        let mut partials: Vec<(f64, Grads)> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..n_workers)
-                .map(|_| {
-                    let next_user = &next_user;
-                    s.spawn(move |_| {
-                        let mut local = Grads::zeros(model);
-                        let mut total = 0.0;
-                        loop {
-                            let i =
-                                next_user.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= n_users {
-                                break;
-                            }
-                            total += self.user_loss_grad(model, i, Some((&mut local, scale)));
-                        }
-                        (total, local)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("hausdorff worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+            (total, local)
+        });
         let mut total = 0.0;
-        for (t, g) in partials.drain(..) {
+        for (t, g) in &partials {
             total += t;
-            grads.add_scaled(1.0, &g);
+            grads.add_scaled(1.0, g);
         }
         total
     }
@@ -290,8 +268,7 @@ impl SocialHausdorffHead {
                         continue;
                     }
                     let dm_df = m_bar_pow * f[idx].powf(alpha - 1.0) / s_len;
-                    dp[j] += self.e_weights[jp] / n_len * dm_df
-                        * (self.dist.get(j, jp) - d_max);
+                    dp[j] += self.e_weights[jp] / n_len * dm_df * (self.dist.get(j, jp) - d_max);
                 }
             }
         }
@@ -389,9 +366,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(33);
         let dims = (data.n_users, data.n_pois(), 12);
-        let mut mk = |n: usize| {
-            tcss_linalg::Matrix::from_fn(n, 3, |_, _| rng.gen_range(0.2..0.6))
-        };
+        let mut mk = |n: usize| tcss_linalg::Matrix::from_fn(n, 3, |_, _| rng.gen_range(0.2..0.6));
         let u1 = mk(dims.0);
         let u2 = mk(dims.1);
         let u3 = mk(dims.2);

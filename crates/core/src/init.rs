@@ -88,11 +88,7 @@ pub fn solve_h(
 /// Naive random initialization (the CP/Tucker default; Table II ablation).
 /// Entries are uniform in `[-s, s]` with `s = 1/√r`, a common scale that
 /// keeps initial predictions `O(1)`.
-pub fn random_init(
-    dims: (usize, usize, usize),
-    r: usize,
-    seed: u64,
-) -> (Matrix, Matrix, Matrix) {
+pub fn random_init(dims: (usize, usize, usize), r: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let s = 1.0 / (r as f64).sqrt();
     (
@@ -107,11 +103,7 @@ pub fn random_init(
 /// embedding layer applies to a one-hot input collapses to an index lookup;
 /// with random projection weights this is a sparse random init). Small
 /// noise breaks the ties between rows sharing a coordinate.
-pub fn onehot_init(
-    dims: (usize, usize, usize),
-    r: usize,
-    seed: u64,
-) -> (Matrix, Matrix, Matrix) {
+pub fn onehot_init(dims: (usize, usize, usize), r: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut make = |n: usize| {
         Matrix::from_fn(n, r, |row, col| {
@@ -210,9 +202,7 @@ mod tests {
             let n = range.len() as f64;
             range.map(|i| u1.get(i, col)).sum::<f64>() / n
         };
-        let sep: f64 = (0..2)
-            .map(|c| (mean(0..5, c) - mean(5..10, c)).abs())
-            .sum();
+        let sep: f64 = (0..2).map(|c| (mean(0..5, c) - mean(5..10, c)).abs()).sum();
         assert!(sep > 0.1, "groups not separated: {sep}");
     }
 

@@ -20,6 +20,11 @@ use rand::{Rng, SeedableRng};
 use tcss_linalg::Matrix;
 use tcss_sparse::{SparseTensor3, TensorEntry};
 
+/// Tensor entries per parallel chunk in the entry-loop losses. Small enough
+/// to load-balance the synthetic datasets, large enough that a per-chunk
+/// `Grads` allocation is noise next to the `O(chunk · r)` backprop work.
+const ENTRIES_PER_CHUNK: usize = 1024;
+
 /// Gradient buffers matching a [`TcssModel`]'s parameters.
 #[derive(Debug, Clone)]
 pub struct Grads {
@@ -108,17 +113,33 @@ pub fn rewritten_loss_and_grad(
     w_plus: f64,
     w_minus: f64,
 ) -> (f64, Grads) {
-    let mut grads = Grads::zeros(model);
     let r = model.h.len();
 
     // ---- Positive-entry term: Σ (w₊−w₋) X̂² − 2 w₊ X X̂ ----
-    let mut loss = 0.0;
-    for e in positives {
-        let s = model.predict(e.i, e.j, e.k);
-        loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
-        let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
-        backprop_entry(model, &mut grads, e.i, e.j, e.k, c);
-    }
+    // Entries are cut into fixed chunks; each chunk accumulates into a
+    // private `Grads` buffer and the buffers merge in chunk order, so the
+    // result is bit-for-bit independent of the thread count.
+    let (mut loss, mut grads) = tcss_linalg::fold_chunks(
+        positives.len(),
+        ENTRIES_PER_CHUNK,
+        (0.0, Grads::zeros(model)),
+        |range| {
+            let mut local = Grads::zeros(model);
+            let mut loss = 0.0;
+            for e in &positives[range] {
+                let s = model.predict(e.i, e.j, e.k);
+                loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
+                let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
+                backprop_entry(model, &mut local, e.i, e.j, e.k, c);
+            }
+            (loss, local)
+        },
+        |(mut loss, mut grads), (l, g)| {
+            loss += l;
+            grads.add_scaled(1.0, &g);
+            (loss, grads)
+        },
+    );
 
     // ---- Whole-data term: w₋ Σ_{r₁r₂} h_{r₁} h_{r₂} G¹ G² G³ ----
     let g1 = model.u1.gram();
@@ -187,6 +208,11 @@ pub fn naive_whole_data_loss(
 /// Classic negative sampling: squared error over the positives plus an
 /// equal number of uniformly sampled unobserved entries (following the NCF
 /// recipe the paper's ablation uses). Returns `(loss, grads)`.
+///
+/// The entry loop is parallelized over fixed chunks, and each chunk draws
+/// its negatives from an RNG seeded by `(seed, chunk index)` — the sampled
+/// negatives are therefore a function of the seed and the chunk grid alone,
+/// never of the thread count, keeping the whole evaluation deterministic.
 pub fn negative_sampling_loss_and_grad(
     model: &TcssModel,
     tensor: &SparseTensor3,
@@ -194,32 +220,57 @@ pub fn negative_sampling_loss_and_grad(
     w_minus: f64,
     seed: u64,
 ) -> (f64, Grads) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut grads = Grads::zeros(model);
-    let mut loss = 0.0;
     let (i_dim, j_dim, k_dim) = tensor.dims();
-    for e in tensor.entries() {
-        let s = model.predict(e.i, e.j, e.k);
-        loss += w_plus * (e.value - s) * (e.value - s);
-        backprop_entry(model, &mut grads, e.i, e.j, e.k, 2.0 * w_plus * (s - e.value));
-        // One sampled negative per positive.
-        let mut attempts = 0;
-        loop {
-            let (ni, nj, nk) = (
-                rng.gen_range(0..i_dim),
-                rng.gen_range(0..j_dim),
-                rng.gen_range(0..k_dim),
+    let entries = tensor.entries();
+    tcss_linalg::fold_chunks(
+        entries.len(),
+        ENTRIES_PER_CHUNK,
+        (0.0, Grads::zeros(model)),
+        |range| {
+            // SplitMix64-style mix of (seed, chunk) into an independent
+            // per-chunk stream.
+            let chunk = (range.start / ENTRIES_PER_CHUNK) as u64;
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
             );
-            if !tensor.contains(ni, nj, nk) || attempts > 32 {
-                let sn = model.predict(ni, nj, nk);
-                loss += w_minus * sn * sn;
-                backprop_entry(model, &mut grads, ni, nj, nk, 2.0 * w_minus * sn);
-                break;
+            let mut local = Grads::zeros(model);
+            let mut loss = 0.0;
+            for e in &entries[range] {
+                let s = model.predict(e.i, e.j, e.k);
+                loss += w_plus * (e.value - s) * (e.value - s);
+                backprop_entry(
+                    model,
+                    &mut local,
+                    e.i,
+                    e.j,
+                    e.k,
+                    2.0 * w_plus * (s - e.value),
+                );
+                // One sampled negative per positive.
+                let mut attempts = 0;
+                loop {
+                    let (ni, nj, nk) = (
+                        rng.gen_range(0..i_dim),
+                        rng.gen_range(0..j_dim),
+                        rng.gen_range(0..k_dim),
+                    );
+                    if !tensor.contains(ni, nj, nk) || attempts > 32 {
+                        let sn = model.predict(ni, nj, nk);
+                        loss += w_minus * sn * sn;
+                        backprop_entry(model, &mut local, ni, nj, nk, 2.0 * w_minus * sn);
+                        break;
+                    }
+                    attempts += 1;
+                }
             }
-            attempts += 1;
-        }
-    }
-    (loss, grads)
+            (loss, local)
+        },
+        |(mut loss, mut grads), (l, g)| {
+            loss += l;
+            grads.add_scaled(1.0, &g);
+            (loss, grads)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -323,8 +374,7 @@ mod tests {
         let (_, grads) = negative_sampling_loss_and_grad(&model, &t, 0.9, 0.1, seed);
         let h = 1e-6;
         // Same seed ⇒ same sampled negatives ⇒ differentiable w.r.t params.
-        let eval =
-            |m: &TcssModel| negative_sampling_loss_and_grad(m, &t, 0.9, 0.1, seed).0;
+        let eval = |m: &TcssModel| negative_sampling_loss_and_grad(m, &t, 0.9, 0.1, seed).0;
         let orig = model.u1.get(1, 1);
         model.u1.set(1, 1, orig + h);
         let fp = eval(&model);

@@ -177,6 +177,11 @@ impl TcssTrainer {
     /// convergence study to compare initializations under identical loops).
     pub fn train_model(&self, model: &mut TcssModel, on_epoch: &mut impl FnMut(TrainContext)) {
         let cfg = &self.config;
+        if cfg.num_threads.is_some() {
+            // Pin the worker count for the loss/Hausdorff/linalg kernels.
+            // Deterministic reduction means this is purely a speed knob.
+            tcss_linalg::set_num_threads(cfg.num_threads);
+        }
         let mut adam = AdamState::new(model);
         for epoch in 0..cfg.epochs {
             let (l2, mut grads) = match cfg.loss {
@@ -207,7 +212,10 @@ impl TcssTrainer {
 
     /// Score function for ranking, applying the ZeroOut mask when that
     /// ablation is active (masked POIs score `−∞`).
-    pub fn score_fn<'a>(&'a self, model: &'a TcssModel) -> impl Fn(usize, usize, usize) -> f64 + 'a {
+    pub fn score_fn<'a>(
+        &'a self,
+        model: &'a TcssModel,
+    ) -> impl Fn(usize, usize, usize) -> f64 + 'a {
         move |i, j, k| {
             if let Some(mask) = &self.zero_out_allowed {
                 if !mask[i][j] {
@@ -327,7 +335,10 @@ mod tests {
             }
             last = ctx.l2;
         });
-        assert!(last < first, "negative-sampling loss should fall: {first} → {last}");
+        assert!(
+            last < first,
+            "negative-sampling loss should fall: {first} → {last}"
+        );
     }
 
     #[test]

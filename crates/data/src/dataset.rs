@@ -1,13 +1,12 @@
 //! The LBSN dataset container and its projections.
 
-use serde::{Deserialize, Serialize};
 use tcss_geo::{DistanceMatrix, GeoPoint};
 use tcss_graph::SocialGraph;
 use tcss_sparse::SparseTensor3;
 
 /// POI category, following the Gowalla grouping used in the paper's
 /// category experiments (Figs 4, 5, 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Shopping POIs.
     Shopping,
@@ -40,7 +39,7 @@ impl Category {
 }
 
 /// A point of interest: a location plus a category.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poi {
     /// Geographic location.
     pub location: GeoPoint,
@@ -50,7 +49,7 @@ pub struct Poi {
 
 /// One check-in event. Time is stored at every granularity the paper's
 /// experiments use, so one dataset serves the month/week/hour comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckIn {
     /// User index.
     pub user: usize,
@@ -65,7 +64,7 @@ pub struct CheckIn {
 }
 
 /// Time-axis granularity of the check-in tensor (§V-G of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Granularity {
     /// Month of year (K = 12) — the paper's default.
     Month,
@@ -110,7 +109,7 @@ impl Granularity {
 }
 
 /// A complete LBSN dataset: users, POIs, check-ins, and the social graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Human-readable dataset name (e.g. "gowalla-synth").
     pub name: String,
@@ -136,9 +135,7 @@ impl Dataset {
         let dims = (self.n_users, self.n_pois(), g.len());
         SparseTensor3::from_entries(
             dims,
-            checkins
-                .iter()
-                .map(|c| (c.user, c.poi, g.index(c), 1.0)),
+            checkins.iter().map(|c| (c.user, c.poi, g.index(c), 1.0)),
         )
         .expect("dataset check-ins are always in range")
         .binarized()
@@ -175,12 +172,7 @@ impl Dataset {
         let checkins = self
             .checkins
             .iter()
-            .filter_map(|c| {
-                keep[c.poi].map(|nj| CheckIn {
-                    poi: nj,
-                    ..*c
-                })
-            })
+            .filter_map(|c| keep[c.poi].map(|nj| CheckIn { poi: nj, ..*c }))
             .collect();
         Dataset {
             name: format!("{}-{}", self.name, cat.label()),

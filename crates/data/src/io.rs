@@ -36,7 +36,11 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Fs(e) => write!(f, "io error: {e}"),
-            IoError::Parse { file, line, message } => {
+            IoError::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: {message}")
             }
         }
@@ -77,8 +81,12 @@ pub fn save_dataset(data: &Dataset, stem: &Path) -> Result<(), IoError> {
 
     let mut checks = String::from("user,poi,month,week,hour\n");
     for c in &data.checkins {
-        writeln!(checks, "{},{},{},{},{}", c.user, c.poi, c.month, c.week, c.hour)
-            .expect("writing to String cannot fail");
+        writeln!(
+            checks,
+            "{},{},{},{},{}",
+            c.user, c.poi, c.month, c.week, c.hour
+        )
+        .expect("writing to String cannot fail");
     }
     std::fs::write(with_suffix(stem, ".checkins.csv"), checks)?;
 
@@ -239,7 +247,11 @@ mod tests {
             "poi_id,lon,lat,category\n0,not_a_float,2.0,food\n",
         )
         .unwrap();
-        std::fs::write(with_suffix(&stem, ".checkins.csv"), "user,poi,month,week,hour\n").unwrap();
+        std::fs::write(
+            with_suffix(&stem, ".checkins.csv"),
+            "user,poi,month,week,hour\n",
+        )
+        .unwrap();
         std::fs::write(with_suffix(&stem, ".edges.csv"), "user_a,user_b\n").unwrap();
         let err = load_dataset("bad", &stem).unwrap_err();
         let msg = err.to_string();

@@ -150,7 +150,9 @@ mod tests {
             n_users: 3,
             pois: vec![poi()],
             // All users active enough, but user 2 has no friends.
-            checkins: (0..3).flat_map(|u| (0..3).map(move |_| checkin(u, 0))).collect(),
+            checkins: (0..3)
+                .flat_map(|u| (0..3).map(move |_| checkin(u, 0)))
+                .collect(),
             social: SocialGraph::from_edges(3, vec![(0, 1)]),
         };
         let cfg = PreprocessConfig {
@@ -171,12 +173,7 @@ mod tests {
             n_users: 2,
             pois: vec![poi(), poi()],
             // User 0 very active at POI 0; user 1 one check-in at POI 1.
-            checkins: vec![
-                checkin(0, 0),
-                checkin(0, 0),
-                checkin(0, 0),
-                checkin(1, 1),
-            ],
+            checkins: vec![checkin(0, 0), checkin(0, 0), checkin(0, 0), checkin(1, 1)],
             social: SocialGraph::from_edges(2, vec![(0, 1)]),
         };
         let cfg = PreprocessConfig {

@@ -186,9 +186,7 @@ fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
 /// concentration: `w_b ∝ exp(κ · cos(2π (b − peak)/n))`.
 fn circular_profile(n: usize, peak: f64, kappa: f64) -> Vec<f64> {
     (0..n)
-        .map(|b| {
-            (kappa * (2.0 * std::f64::consts::PI * (b as f64 - peak) / n as f64).cos()).exp()
-        })
+        .map(|b| (kappa * (2.0 * std::f64::consts::PI * (b as f64 - peak) / n as f64).cos()).exp())
         .collect()
 }
 
@@ -284,7 +282,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
         })
         .collect();
     let community_category: Vec<Category> = (0..cfg.n_communities)
-        .map(|_| Category::ALL[rng.gen_range(0..4)])
+        .map(|_| Category::ALL[rng.gen_range(0..4usize)])
         .collect();
 
     // 4. Social graph: mostly intra-community edges.
@@ -384,7 +382,7 @@ pub fn generate(cfg: &SynthConfig) -> Dataset {
             let month = weighted_choice(&mut rng, &profiles[poi].month) as u8;
             let hour = weighted_choice(&mut rng, &profiles[poi].hour) as u8;
             // Week consistent with the month (~4.4 weeks per month).
-            let week = ((month as f64 * 4.42) as u8 + rng.gen_range(0..5)).min(52);
+            let week = ((month as f64 * 4.42) as u8 + rng.gen_range(0..5u8)).min(52);
             checkins.push(CheckIn {
                 user: u,
                 poi,

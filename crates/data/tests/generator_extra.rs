@@ -85,7 +85,10 @@ fn custom_config_is_respected() {
     assert_eq!(d.n_users, 30);
     assert_eq!(d.n_pois(), 20);
     let per_user = d.checkins.len() as f64 / 30.0;
-    assert!((5.0..=16.0).contains(&per_user), "mean check-ins {per_user}");
+    assert!(
+        (5.0..=16.0).contains(&per_user),
+        "mean check-ins {per_user}"
+    );
 }
 
 #[test]

@@ -14,13 +14,19 @@ fn mk(user: usize, poi: usize, month: u8) -> CheckIn {
     }
 }
 
-fn run(test: &[CheckIn], n_pois: usize, score: impl Fn(usize, usize, usize) -> f64) -> RankingMetrics {
+fn run(
+    test: &[CheckIn],
+    n_pois: usize,
+    score: impl Fn(usize, usize, usize) -> f64,
+) -> RankingMetrics {
     evaluate_ranking(test, n_pois, &EvalConfig::default(), score)
 }
 
 #[test]
 fn deterministic_given_seed() {
-    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 7, s % 23, (s % 12) as u8)).collect();
+    let test: Vec<CheckIn> = (0..100)
+        .map(|s| mk(s % 7, s % 23, (s % 12) as u8))
+        .collect();
     let score = |i: usize, j: usize, k: usize| ((i * 31 + j * 17 + k) % 101) as f64;
     let a = run(&test, 23, score);
     let b = run(&test, 23, score);
@@ -30,16 +36,36 @@ fn deterministic_given_seed() {
 
 #[test]
 fn different_eval_seeds_sample_different_negatives() {
-    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 7, s % 23, (s % 12) as u8)).collect();
+    let test: Vec<CheckIn> = (0..100)
+        .map(|s| mk(s % 7, s % 23, (s % 12) as u8))
+        .collect();
     let score = |i: usize, j: usize, k: usize| ((i * 31 + j * 17 + k) % 101) as f64;
-    let a = evaluate_ranking(&test, 23, &EvalConfig { seed: 1, ..Default::default() }, score);
-    let b = evaluate_ranking(&test, 23, &EvalConfig { seed: 2, ..Default::default() }, score);
+    let a = evaluate_ranking(
+        &test,
+        23,
+        &EvalConfig {
+            seed: 1,
+            ..Default::default()
+        },
+        score,
+    );
+    let b = evaluate_ranking(
+        &test,
+        23,
+        &EvalConfig {
+            seed: 2,
+            ..Default::default()
+        },
+        score,
+    );
     assert!(a.hit_at_k != b.hit_at_k || a.mrr != b.mrr);
 }
 
 #[test]
 fn hit_at_k_monotone_in_k() {
-    let test: Vec<CheckIn> = (0..200).map(|s| mk(s % 9, s % 31, (s % 12) as u8)).collect();
+    let test: Vec<CheckIn> = (0..200)
+        .map(|s| mk(s % 9, s % 31, (s % 12) as u8))
+        .collect();
     let score = |i: usize, j: usize, k: usize| {
         let mut x = (i as u64) << 32 | (j as u64) << 8 | k as u64;
         x = x.wrapping_mul(0x9e3779b97f4a7c15);
@@ -47,7 +73,15 @@ fn hit_at_k_monotone_in_k() {
     };
     let mut prev = 0.0;
     for k in [1usize, 5, 10, 50, 101] {
-        let m = evaluate_ranking(&test, 31, &EvalConfig { k, ..Default::default() }, score);
+        let m = evaluate_ranking(
+            &test,
+            31,
+            &EvalConfig {
+                k,
+                ..Default::default()
+            },
+            score,
+        );
         assert!(
             m.hit_at_k >= prev - 1e-12,
             "Hit@{k} = {} decreased from {prev}",
@@ -63,7 +97,9 @@ fn hit_at_k_monotone_in_k() {
 fn better_models_score_better() {
     // A model that ranks the true POI with probability p above negatives
     // should order strictly by p.
-    let truth: Vec<CheckIn> = (0..300).map(|s| mk(s % 10, s % 37, (s % 12) as u8)).collect();
+    let truth: Vec<CheckIn> = (0..300)
+        .map(|s| mk(s % 10, s % 37, (s % 12) as u8))
+        .collect();
     let hits_for = |boost: f64| {
         run(&truth, 37, |i, j, k| {
             let is_true = truth
@@ -116,7 +152,9 @@ fn granularity_controls_time_index() {
 
 #[test]
 fn rmse_orders_calibrated_models() {
-    let test: Vec<CheckIn> = (0..100).map(|s| mk(s % 5, s % 20, (s % 12) as u8)).collect();
+    let test: Vec<CheckIn> = (0..100)
+        .map(|s| mk(s % 5, s % 20, (s % 12) as u8))
+        .collect();
     let truth: std::collections::HashSet<(usize, usize, usize)> = test
         .iter()
         .map(|c| (c.user, c.poi, c.month as usize))
@@ -146,13 +184,17 @@ fn neg_infinity_scores_never_rank() {
     // The ZeroOut ablation masks POIs to −∞; such a score must lose to
     // every sampled negative (rank 101) and never be NaN-poisoned.
     let test = vec![mk(0, 3, 7)];
-    let m = run(&test, 50, |_, j, _| {
-        if j == 3 {
-            f64::NEG_INFINITY
-        } else {
-            1.0
-        }
-    });
+    let m = run(
+        &test,
+        50,
+        |_, j, _| {
+            if j == 3 {
+                f64::NEG_INFINITY
+            } else {
+                1.0
+            }
+        },
+    );
     assert_eq!(m.hit_at_k, 0.0);
     assert!(m.mrr > 0.0 && m.mrr < 0.02);
 }

@@ -7,7 +7,7 @@
 //! `e_j = exp(−E_j)` so low-entropy POIs dominate the social-spatial loss,
 //! which simultaneously diversifies recommendations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Location entropy `E_j` for every POI (paper Eq 11):
 ///
@@ -21,8 +21,11 @@ pub fn location_entropy(
     n_pois: usize,
     checkins: impl IntoIterator<Item = (usize, usize)>,
 ) -> Vec<f64> {
-    // Count visits per (poi, user).
-    let mut per_pair: HashMap<(usize, usize), f64> = HashMap::new();
+    // Count visits per (poi, user). BTreeMap so the entropy sum below
+    // accumulates in a fixed (poi, user) order — with a HashMap the float
+    // reassociation would make E_j differ in the last ulp from run to run,
+    // which the training determinism contract forbids.
+    let mut per_pair: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut per_poi: Vec<f64> = vec![0.0; n_pois];
     for (user, poi) in checkins {
         if poi >= n_pois {

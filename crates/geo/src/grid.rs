@@ -30,7 +30,10 @@ impl GridIndex {
         assert!(cell_deg > 0.0, "cell size must be positive");
         let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (idx, p) in points.iter().enumerate() {
-            cells.entry(Self::cell_of(p, cell_deg)).or_default().push(idx);
+            cells
+                .entry(Self::cell_of(p, cell_deg))
+                .or_default()
+                .push(idx);
         }
         GridIndex {
             cell_deg,

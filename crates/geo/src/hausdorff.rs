@@ -118,11 +118,7 @@ pub fn generalized_mean(xs: &[f64], alpha: f64, floor: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mean: f64 = xs
-        .iter()
-        .map(|&x| x.max(floor).powf(alpha))
-        .sum::<f64>()
-        / xs.len() as f64;
+    let mean: f64 = xs.iter().map(|&x| x.max(floor).powf(alpha)).sum::<f64>() / xs.len() as f64;
     mean.powf(1.0 / alpha)
 }
 
@@ -340,7 +336,8 @@ mod tests {
         let n_set = vec![2];
         let uniform = weighted_hausdorff(&s, &p, &n_set, &d, &[1.0; 3], &Default::default());
         // Demote POI 0 and POI 2 via low weights.
-        let weighted = weighted_hausdorff(&s, &p, &n_set, &d, &[0.1, 1.0, 0.1], &Default::default());
+        let weighted =
+            weighted_hausdorff(&s, &p, &n_set, &d, &[0.1, 1.0, 0.1], &Default::default());
         assert!(weighted < uniform);
     }
 }

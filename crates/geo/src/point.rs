@@ -1,13 +1,11 @@
 //! Geographic points and the haversine great-circle distance.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean Earth radius in kilometres (the value used by the `haversine` PyPI
 /// package the paper cites).
 pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// A longitude/latitude pair in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoPoint {
     /// Longitude in degrees, −180..180.
     pub lon: f64,

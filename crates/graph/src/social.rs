@@ -1,13 +1,12 @@
 //! Undirected social (friendship) graph.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// An undirected graph over users `0..n`, stored as sorted adjacency lists.
 ///
 /// Self-loops are rejected and duplicate edges are deduplicated — friendship
 /// in an LBSN is irreflexive and unweighted.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SocialGraph {
     adj: Vec<Vec<usize>>,
     n_edges: usize,
@@ -134,7 +133,9 @@ impl SocialGraph {
 
     /// Users with at least one friend (the paper keeps only such users).
     pub fn users_with_friends(&self) -> Vec<usize> {
-        (0..self.adj.len()).filter(|&u| !self.adj[u].is_empty()).collect()
+        (0..self.adj.len())
+            .filter(|&u| !self.adj[u].is_empty())
+            .collect()
     }
 
     /// Restrict the graph to a subset of users (given by a sorted mapping

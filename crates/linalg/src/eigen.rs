@@ -186,7 +186,10 @@ pub fn top_r_eigenvectors(
 ) -> Result<(Vec<f64>, Matrix)> {
     let n = op.dim();
     if r > n {
-        return Err(LinalgError::RankTooLarge { requested: r, max: n });
+        return Err(LinalgError::RankTooLarge {
+            requested: r,
+            max: n,
+        });
     }
     if r == 0 {
         return Ok((Vec::new(), Matrix::zeros(n, 0)));
@@ -211,7 +214,10 @@ pub fn top_r_eigenvectors(
         let proj = q.transpose().matmul(&y)?;
         // When the subspace has converged, QᵀY is orthogonal, and its
         // difference from the previous projection stabilizes.
-        let delta = proj.sub(&prev_proj).map(|d| d.frobenius_norm()).unwrap_or(f64::MAX);
+        let delta = proj
+            .sub(&prev_proj)
+            .map(|d| d.frobenius_norm())
+            .unwrap_or(f64::MAX);
         q = y;
         if delta < cfg.tol {
             break;
@@ -271,11 +277,7 @@ mod tests {
 
     #[test]
     fn jacobi_eigenvectors_orthonormal() {
-        let a = sym_from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = sym_from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let (vals, vecs) = jacobi_eigen(&a, 100).unwrap();
         assert!(vecs.gram().approx_eq(&Matrix::identity(3), 1e-10));
         // Trace preserved.
@@ -310,7 +312,10 @@ mod tests {
         let (full_vals, _) = jacobi_eigen(&a, 100).unwrap();
         let op = DenseSymOp::new(&a);
         let (vals, vecs) = top_r_eigenvectors(&op, 2, &OrthIterConfig::default()).unwrap();
-        assert!((vals[0] - full_vals[0]).abs() < 1e-7, "{vals:?} vs {full_vals:?}");
+        assert!(
+            (vals[0] - full_vals[0]).abs() < 1e-7,
+            "{vals:?} vs {full_vals:?}"
+        );
         assert!((vals[1] - full_vals[1]).abs() < 1e-7);
         // Residual check: ‖A v − λ v‖ small.
         for j in 0..2 {

@@ -22,6 +22,9 @@
 //!   initializer avoids materializing the `I × I` Gram matrix.
 //! * [`svd::truncated_svd`] — rank-`r` SVD built on the eigen machinery.
 //! * [`stats`] — cosine similarity, standardization and friends.
+//! * [`parallel`] — the deterministic chunked thread-pool primitive every
+//!   parallel hot path in the workspace is built on (see its module docs
+//!   for the determinism contract and the `TCSS_NUM_THREADS` knob).
 
 // Index-based loops are used deliberately throughout this crate: the
 // numeric kernels mirror the paper's subscripted equations, and iterator
@@ -30,6 +33,7 @@
 
 pub mod eigen;
 pub mod matrix;
+pub mod parallel;
 pub mod qr;
 pub mod solve;
 pub mod stats;
@@ -38,6 +42,7 @@ pub mod vector;
 
 pub use eigen::{jacobi_eigen, top_r_eigenvectors, DenseSymOp, SymOp};
 pub use matrix::Matrix;
+pub use parallel::{fold_chunks, map_chunks, num_threads, set_num_threads};
 pub use qr::{orthonormalize, qr_thin};
 pub use solve::solve_linear_system;
 pub use stats::{cosine_similarity, cosine_similarity_matrix};
@@ -78,7 +83,10 @@ impl std::fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
             LinalgError::RankTooLarge { requested, max } => {
                 write!(f, "requested rank {requested} exceeds maximum {max}")
             }

@@ -185,54 +185,86 @@ impl Matrix {
         t
     }
 
+    /// Rows of `self` per parallel chunk in [`Self::matmul`] / [`Self::gram`].
+    const ROWS_PER_CHUNK: usize = 64;
+
     /// Matrix product `self * other`.
     ///
     /// Uses the classic i-k-j loop order so the inner loop streams over
     /// contiguous rows of both operands (cache-friendly for row-major data).
+    /// Output rows are computed in parallel over fixed row chunks; each row
+    /// depends only on its own accumulation, so the result is bit-for-bit
+    /// identical to the serial product for any thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 expected: format!("lhs cols == rhs rows ({} )", self.cols),
-                got: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+                got: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
+        let chunks = crate::parallel::map_chunks(self.rows, Self::ROWS_PER_CHUNK, |range| {
+            let mut block = vec![0.0; range.len() * n];
+            for (bi, i) in range.enumerate() {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut block[bi * n..(bi + 1) * n];
+                for (k, &a_ik) in a_row.iter().enumerate() {
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_ik * b;
+                    }
                 }
             }
+            block
+        });
+        let mut data = Vec::with_capacity(self.rows * n);
+        for block in chunks {
+            data.extend_from_slice(&block);
         }
-        Ok(out)
+        Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
     }
 
     /// Gram matrix `selfᵀ * self` (`cols × cols`), exploiting symmetry.
     ///
     /// This is the kernel behind the rewritten loss of the paper (Eq 15):
-    /// `U¹ᵀU¹`, `U²ᵀU²`, `U³ᵀU³` are all `r × r` Gram matrices.
+    /// `U¹ᵀU¹`, `U²ᵀU²`, `U³ᵀU³` are all `r × r` Gram matrices. The row sum
+    /// is a deterministic chunked reduction: per-chunk partial Grams merged
+    /// in chunk order, so the floats never depend on the thread count.
     pub fn gram(&self) -> Matrix {
         let r = self.cols;
-        let mut g = Matrix::zeros(r, r);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for a in 0..r {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
+        let mut g = crate::parallel::fold_chunks(
+            self.rows,
+            Self::ROWS_PER_CHUNK,
+            Matrix::zeros(r, r),
+            |range| {
+                let mut part = Matrix::zeros(r, r);
+                for i in range {
+                    let row = self.row(i);
+                    for a in 0..r {
+                        let ra = row[a];
+                        if ra == 0.0 {
+                            continue;
+                        }
+                        for b in a..r {
+                            part.data[a * r + b] += ra * row[b];
+                        }
+                    }
                 }
-                for b in a..r {
-                    g.data[a * r + b] += ra * row[b];
+                part
+            },
+            |mut acc: Matrix, part| {
+                for (o, &p) in acc.data.iter_mut().zip(part.data.iter()) {
+                    *o += p;
                 }
-            }
-        }
+                acc
+            },
+        );
         for a in 0..r {
             for b in 0..a {
                 g.data[a * r + b] = g.data[b * r + a];

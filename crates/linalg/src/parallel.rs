@@ -1,0 +1,223 @@
+//! Deterministic chunked parallel execution.
+//!
+//! Every parallel hot path in the workspace (the rewritten whole-data loss,
+//! the social-Hausdorff head, dense matmul/Gram, the implicit mode-Gram
+//! matvec) runs through this module instead of hand-rolled threading. The
+//! scheduler is intentionally tiny — `std::thread::scope`, one atomic chunk
+//! counter, no external dependencies — and built around one contract:
+//!
+//! # The deterministic-reduction contract
+//!
+//! 1. The index space `0..n_items` is cut into **fixed chunks** whose
+//!    boundaries depend only on `(n_items, chunk_size)` — never on the
+//!    thread count or on scheduling order.
+//! 2. Each chunk is mapped to a value by a pure function of its range;
+//!    workers claim chunks dynamically (work stealing via an atomic
+//!    counter), but *which worker* computes a chunk cannot affect its value.
+//! 3. Per-chunk results are merged **in ascending chunk order** by the
+//!    caller ([`map_chunks`] returns them in that order; [`fold_chunks`]
+//!    folds them in that order).
+//!
+//! Consequently every result is a deterministic function of the inputs and
+//! the chunk grid: bit-for-bit identical across runs, across thread counts
+//! (1 thread and 64 threads produce the same floats), and across the
+//! serial-fallback and threaded code paths — the serial path executes the
+//! *same* chunked fold, just inline. Floating-point summation order is
+//! pinned by the grid, not by the race winner.
+//!
+//! # Thread-count resolution
+//!
+//! [`num_threads`] resolves, in order: the process-wide programmatic
+//! override ([`set_num_threads`], used by `TcssConfig::num_threads` and the
+//! parity tests), the `TCSS_NUM_THREADS` environment variable, and finally
+//! `std::thread::available_parallelism()`. A resolved count of 1 bypasses
+//! thread spawning entirely.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override; 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatically pin the worker count for all subsequent parallel
+/// regions in this process (`None` restores automatic resolution).
+///
+/// Because of the deterministic-reduction contract this only affects
+/// *speed*, never results; tests may therefore set it freely even while
+/// other tests run concurrently.
+pub fn set_num_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count parallel regions will use right now.
+///
+/// Resolution order: [`set_num_threads`] override → `TCSS_NUM_THREADS`
+/// env var → `available_parallelism()` → 1.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("TCSS_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The fixed chunk grid for `n_items` items: ascending, disjoint,
+/// covering ranges of length `chunk_size` (the last may be shorter).
+pub fn chunk_ranges(n_items: usize, chunk_size: usize) -> impl Iterator<Item = Range<usize>> {
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = n_items.div_ceil(chunk_size);
+    (0..n_chunks).map(move |c| {
+        let lo = c * chunk_size;
+        lo..(lo + chunk_size).min(n_items)
+    })
+}
+
+/// Map every chunk of `0..n_items` through `f`, in parallel, returning the
+/// per-chunk results **in chunk order**.
+///
+/// This is the primitive the deterministic-reduction contract rests on:
+/// the output `Vec` is indexed by chunk, so any in-order fold over it is
+/// independent of the thread count. With one worker (or one chunk) the map
+/// runs inline on the calling thread.
+pub fn map_chunks<T, F>(n_items: usize, chunk_size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = n_items.div_ceil(chunk_size);
+    let workers = num_threads().min(n_chunks);
+    if workers <= 1 {
+        return chunk_ranges(n_items, chunk_size).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk_size;
+                        let hi = (lo + chunk_size).min(n_items);
+                        produced.push((c, f(lo..hi)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, value) in h.join().expect("parallel worker panicked") {
+                debug_assert!(slots[c].is_none(), "chunk {c} computed twice");
+                slots[c] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|v| v.expect("every chunk claimed exactly once"))
+        .collect()
+}
+
+/// Parallel map-reduce over the fixed chunk grid: per-chunk values from
+/// `map` are folded into `init` **in ascending chunk order** with `fold`.
+///
+/// `fold` runs on the calling thread, so the accumulator needs no `Send`
+/// bound and the reduction order is a pure function of the grid.
+pub fn fold_chunks<T, A, M, F>(n_items: usize, chunk_size: usize, init: A, map: M, fold: F) -> A
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    F: FnMut(A, T) -> A,
+{
+    map_chunks(n_items, chunk_size, map)
+        .into_iter()
+        .fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_grid_is_fixed_and_covering() {
+        let ranges: Vec<_> = chunk_ranges(10, 4).collect();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(0, 4).count(), 0);
+        assert_eq!(chunk_ranges(4, 4).count(), 1);
+        // chunk_size 0 is clamped to 1 rather than looping forever.
+        assert_eq!(chunk_ranges(3, 0).count(), 3);
+    }
+
+    #[test]
+    fn map_chunks_returns_chunk_order() {
+        for threads in [1usize, 2, 4, 7] {
+            set_num_threads(Some(threads));
+            let got = map_chunks(23, 5, |r| r.start);
+            assert_eq!(got, vec![0, 5, 10, 15, 20], "threads = {threads}");
+        }
+        set_num_threads(None);
+    }
+
+    #[test]
+    fn reduction_is_bitwise_thread_count_independent() {
+        // A sum of floats whose value depends on association order: if the
+        // merge order varied with the thread count, the bits would differ.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64 * 0.73).sin() * 1e10).exp2().fract() + 1e-3)
+            .collect();
+        let sum_with = |threads: usize| -> u64 {
+            set_num_threads(Some(threads));
+            let s = fold_chunks(
+                xs.len(),
+                64,
+                0.0f64,
+                |r| xs[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            );
+            set_num_threads(None);
+            s.to_bits()
+        };
+        let reference = sum_with(1);
+        for threads in [2usize, 3, 4, 8] {
+            assert_eq!(sum_with(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn env_override_is_respected() {
+        set_num_threads(None);
+        std::env::set_var("TCSS_NUM_THREADS", "3");
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("TCSS_NUM_THREADS", "not-a-number");
+        assert!(num_threads() >= 1);
+        std::env::remove_var("TCSS_NUM_THREADS");
+        // Programmatic override beats the environment.
+        std::env::set_var("TCSS_NUM_THREADS", "3");
+        set_num_threads(Some(2));
+        assert_eq!(num_threads(), 2);
+        set_num_threads(None);
+        std::env::remove_var("TCSS_NUM_THREADS");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_map() {
+        assert!(map_chunks(0, 8, |r| r.len()).is_empty());
+        assert_eq!(fold_chunks(0, 8, 42usize, |r| r.len(), |a, b| a + b), 42);
+    }
+}

@@ -140,12 +140,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let (q, r) = qr_thin(&a).unwrap();
         assert!(is_orthonormal(&q, 1e-10));
         let qr = q.matmul(&r).unwrap();
@@ -154,8 +149,13 @@ mod tests {
 
     #[test]
     fn qr_r_is_upper_triangular() {
-        let a = Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[1.0, 0.0, 1.0], &[4.0, 2.0, 1.0], &[0.5, 1.5, -2.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 3.0],
+            &[1.0, 0.0, 1.0],
+            &[4.0, 2.0, 1.0],
+            &[0.5, 1.5, -2.0],
+        ])
+        .unwrap();
         let (_, r) = qr_thin(&a).unwrap();
         for i in 0..r.rows() {
             for j in 0..i {

@@ -1,5 +1,9 @@
 //! Additional numerical stress tests for the linear-algebra kernels.
 
+// Index loops mirror the table/axis layout here; see tcss-linalg's
+// crate-level rationale for the same allow.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tcss_linalg::eigen::OrthIterConfig;

@@ -1,0 +1,249 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the slice of criterion the workspace's benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box`.
+//!
+//! Instead of criterion's HTML reports, every finished group writes a
+//! machine-readable `BENCH_<group>.json` file into the current working
+//! directory (the package root under `cargo bench`) and prints a
+//! one-line summary per benchmark. No statistics beyond mean/min/max are
+//! computed — this is a timing harness, not an inference engine.
+
+use std::time::Instant;
+
+/// Re-export of the standard hint, matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver (subset of upstream `Criterion`).
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            results: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Benchmark a single function outside any group (written to a
+    /// single-entry `BENCH_<name>.json`).
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// One recorded benchmark within a group.
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchRecord>,
+    finished: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut b);
+        assert!(
+            !b.per_iter_ns.is_empty(),
+            "benchmark '{id}' never called Bencher::iter"
+        );
+        let n = b.per_iter_ns.len();
+        let mean = b.per_iter_ns.iter().sum::<f64>() / n as f64;
+        let min = b.per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.per_iter_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{}/{:<24} time: [min {:>12.1} ns  mean {:>12.1} ns  max {:>12.1} ns]  ({} samples)",
+            self.name, id, min, mean, max, n
+        );
+        self.results.push(BenchRecord {
+            name: id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: n,
+        });
+        self
+    }
+
+    /// Finish the group, writing `BENCH_<group>.json`.
+    pub fn finish(mut self) {
+        self.write_results();
+    }
+
+    fn write_results(&mut self) {
+        if self.finished || self.results.is_empty() {
+            self.finished = true;
+            return;
+        }
+        self.finished = true;
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = format!("BENCH_{sanitized}.json");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                r.name,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("criterion shim: could not write {path}: {e}");
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        // Groups dropped without an explicit finish() still record.
+        self.write_results();
+    }
+}
+
+/// Timing handle passed to benchmark routines.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording `sample_size` samples. Fast routines are
+    /// batched so each sample spans at least ~50µs of work, keeping timer
+    /// resolution out of the measurement.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + batch-size calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once_ns = t0.elapsed().as_nanos().max(1);
+        const TARGET_BATCH_NS: u128 = 50_000;
+        let batch = ((TARGET_BATCH_NS / once_ns) as usize).clamp(1, 1_000_000);
+        self.per_iter_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_writes_json() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let orig = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+
+        let json = std::fs::read_to_string("BENCH_shim_selftest.json").unwrap();
+        std::env::set_current_dir(orig).unwrap();
+        assert!(json.contains("\"group\": \"shim_selftest\""));
+        assert!(json.contains("noop_sum"));
+        assert!(json.contains("mean_ns"));
+    }
+
+    #[test]
+    #[should_panic(expected = "never called")]
+    fn missing_iter_is_an_error() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("empty");
+        group.bench_function("broken", |_b| {});
+    }
+}

@@ -17,11 +17,7 @@ pub struct CsrMatrix {
 
 impl CsrMatrix {
     /// Build from `(row, col, value)` triples; duplicates are summed.
-    pub fn from_triples(
-        rows: usize,
-        cols: usize,
-        mut triples: Vec<(usize, usize, f64)>,
-    ) -> Self {
+    pub fn from_triples(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
         triples.retain(|&(r, c, _)| r < rows && c < cols);
         triples.sort_by_key(|&(r, c, _)| (r, c));
         // Merge duplicates (sorted, so duplicates are adjacent).

@@ -305,18 +305,37 @@ impl SymOp for ModeGramOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        // t = Aᵀ x (length = fiber dimension), accumulated sparsely.
+        // t = Aᵀ x (length = fiber dimension), accumulated sparsely. This
+        // scatter stays serial: fibers are shared across rows, so chunking
+        // it would need per-chunk fiber buffers longer than the pass itself.
         let mut t = vec![0.0; self.fiber_len];
         for e in self.tensor.entries() {
             let row = self.mode.select(e);
             let f = self.fiber_index(e);
             t[f] += e.value * x[row];
         }
-        // y = A t − d ⊙ x.
-        for e in self.tensor.entries() {
-            let row = self.mode.select(e);
-            let f = self.fiber_index(e);
-            y[row] += e.value * t[f];
+        // y = A t − d ⊙ x. The gather is a per-row dot over the tensor's
+        // mode index, parallelized over fixed row chunks; each row's sum
+        // runs over its entries in the same sorted order as the serial
+        // loop, so the result is bit-for-bit thread-count independent.
+        let rows = y.len();
+        const ROWS_PER_CHUNK: usize = 256;
+        let sums = tcss_linalg::map_chunks(rows, ROWS_PER_CHUNK, |range| {
+            range
+                .map(|row| {
+                    self.tensor
+                        .slice(self.mode, row)
+                        .map(|e| e.value * t[self.fiber_index(e)])
+                        .sum::<f64>()
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut row = 0;
+        for chunk in sums {
+            for s in chunk {
+                y[row] += s;
+                row += 1;
+            }
         }
         for (yi, (&di, &xi)) in y.iter_mut().zip(self.diag.iter().zip(x.iter())) {
             *yi -= di * xi;

@@ -1,16 +1,15 @@
 //! Property-based tests for the sparse tensor structures.
 
 use proptest::prelude::*;
-use tcss_sparse::{CsrMatrix, Mode, SparseTensor3};
+use tcss_linalg::SymOp;
+use tcss_sparse::{CsrMatrix, Mode, ModeGramOp, SparseTensor3};
 
-fn entries_strategy() -> impl Strategy<Value = ((usize, usize, usize), Vec<(usize, usize, usize, f64)>)>
-{
+#[allow(clippy::type_complexity)]
+fn entries_strategy(
+) -> impl Strategy<Value = ((usize, usize, usize), Vec<(usize, usize, usize, f64)>)> {
     (2usize..7, 2usize..7, 2usize..5).prop_flat_map(|(i, j, k)| {
-        proptest::collection::vec(
-            (0..i, 0..j, 0..k, 0.25f64..2.0),
-            0..25,
-        )
-        .prop_map(move |v| ((i, j, k), v))
+        proptest::collection::vec((0..i, 0..j, 0..k, 0.25f64..2.0), 0..25)
+            .prop_map(move |v| ((i, j, k), v))
     })
 }
 
@@ -71,6 +70,38 @@ proptest! {
             for j in 0..dims.1 {
                 let fiber_sum: f64 = (0..dims.2).map(|k| t.get(i, j, k)).sum();
                 prop_assert!((m.get(i, j) - fiber_sum).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The implicit off-diagonal Gram operator agrees with the explicit
+    /// route through dense matricization: for every mode `n` and any `x`,
+    /// `ModeGramOp::apply(x) == A⁽ⁿ⁾ (A⁽ⁿ⁾ᵀ x) − diag(A⁽ⁿ⁾A⁽ⁿ⁾ᵀ) ⊙ x`,
+    /// where `A⁽ⁿ⁾` is the mode-`n` matricization. This is the operator the
+    /// spectral initializer (paper Eq 4) feeds to orthogonal iteration
+    /// without ever materializing `A⁽ⁿ⁾A⁽ⁿ⁾ᵀ`.
+    #[test]
+    fn gram_operator_matches_matricized_matvec((dims, raw) in entries_strategy()) {
+        let t = SparseTensor3::from_entries(dims, raw).expect("in range");
+        for mode in Mode::ALL {
+            let op = ModeGramOp::new(&t, mode);
+            let n = op.dim();
+            // A deterministic but non-trivial probe vector.
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64 + 1.0) * 0.83).sin() + 0.1).collect();
+            let mut got = vec![0.0; n];
+            op.apply(&x, &mut got);
+            // Explicit route: y = A (Aᵀ x) − d ⊙ x via the dense matricization.
+            let a = t.matricize_dense(mode);
+            let at_x = a.transpose().matvec(&x).expect("shape");
+            let a_at_x = a.matvec(&at_x).expect("shape");
+            let diag = t.mode_sq_norms(mode);
+            for row in 0..n {
+                let want = a_at_x[row] - diag[row] * x[row];
+                prop_assert!(
+                    (got[row] - want).abs() < 1e-9,
+                    "mode {:?} row {}: implicit {} vs explicit {}",
+                    mode, row, got[row], want
+                );
             }
         }
     }

@@ -7,6 +7,10 @@
 //!
 //! Run with `cargo run --release --example custom_dataset`.
 
+// Index loops mirror the table/axis layout here; see tcss-linalg's
+// crate-level rationale for the same allow.
+#![allow(clippy::needless_range_loop)]
+
 use tcss::baselines::{cp::CpConfig, CpModel};
 use tcss::data::io::{load_dataset, save_dataset};
 use tcss::prelude::*;
@@ -95,7 +99,10 @@ fn main() {
 
     // And in January the beach should fade.
     let jan = tcss.recommend(3, 0, 2);
-    println!("TCSS January picks for user 3: {} and {}", names[jan[0].0], names[jan[1].0]);
+    println!(
+        "TCSS January picks for user 3: {} and {}",
+        names[jan[0].0], names[jan[1].0]
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

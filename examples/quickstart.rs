@@ -22,7 +22,12 @@ fn main() {
 
     // 3. Train the full TCSS model (spectral init, whole-data rewritten
     //    loss, social Hausdorff head).
-    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &data,
+        &split.train,
+        Granularity::Month,
+        TcssConfig::default(),
+    );
     let mut first_loss = f64::NAN;
     let mut last_loss = f64::NAN;
     let model = trainer.train(|epoch, loss| {

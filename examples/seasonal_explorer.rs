@@ -9,6 +9,10 @@
 //!
 //! Run with `cargo run --release --example seasonal_explorer`.
 
+// Index loops mirror the table/axis layout here; see tcss-linalg's
+// crate-level rationale for the same allow.
+#![allow(clippy::needless_range_loop)]
+
 use tcss::linalg::cosine_similarity_matrix;
 use tcss::prelude::*;
 
@@ -25,7 +29,12 @@ fn main() {
     println!("{}", data.summary(Granularity::Month));
 
     let split = train_test_split(&data.checkins, data.n_users, 0.8, 42);
-    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &data,
+        &split.train,
+        Granularity::Month,
+        TcssConfig::default(),
+    );
     let model = trainer.train(|_, _| {});
 
     // How much do one user's winter and summer top-5 lists differ?
@@ -36,7 +45,11 @@ fn main() {
     println!("\nTop-5 outdoor recommendations for user {user}, by month:");
     let mut lists: Vec<Vec<usize>> = Vec::new();
     for k in 0..12 {
-        let top: Vec<usize> = model.recommend(user, k, 5).into_iter().map(|(j, _)| j).collect();
+        let top: Vec<usize> = model
+            .recommend(user, k, 5)
+            .into_iter()
+            .map(|(j, _)| j)
+            .collect();
         println!("  {}: {:?}", MONTHS[k], top);
         lists.push(top);
     }
@@ -46,7 +59,11 @@ fn main() {
     println!(
         "\nJan/Feb vs Jul/Aug top-5 overlap: {overlap} of {} POIs — seasonal rotation {}",
         winter.len().max(summer.len()),
-        if overlap <= winter.len() / 2 { "confirmed" } else { "weak" }
+        if overlap <= winter.len() / 2 {
+            "confirmed"
+        } else {
+            "weak"
+        }
     );
 
     // The learned month embeddings: adjacent months should be similar
@@ -67,7 +84,5 @@ fn main() {
     }
     let adjacent: f64 = (0..12).map(|i| sim.get(i, (i + 1) % 12)).sum::<f64>() / 12.0;
     let opposite: f64 = (0..12).map(|i| sim.get(i, (i + 6) % 12)).sum::<f64>() / 12.0;
-    println!(
-        "\nmean similarity: adjacent months {adjacent:+.3}, opposite months {opposite:+.3}"
-    );
+    println!("\nmean similarity: adjacent months {adjacent:+.3}, opposite months {opposite:+.3}");
 }

@@ -26,8 +26,17 @@ fn full_cli_roundtrip() {
         .arg(&stem)
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(stem.with_extension("").parent().unwrap().join("gmu.pois.csv").exists());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stem
+        .with_extension("")
+        .parent()
+        .unwrap()
+        .join("gmu.pois.csv")
+        .exists());
 
     // train (few epochs; CLI paths, not model quality, are under test)
     let out = bin()
@@ -37,20 +46,37 @@ fn full_cli_roundtrip() {
         .arg(&model)
         .output()
         .expect("run train");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("model written"), "{stdout}");
 
     // recommend
     let out = bin()
-        .args(["recommend", "--user", "0", "--month", "5", "--top", "3", "--data"])
+        .args([
+            "recommend",
+            "--user",
+            "0",
+            "--month",
+            "5",
+            "--top",
+            "3",
+            "--data",
+        ])
         .arg(&stem)
         .arg("--model")
         .arg(&model)
         .output()
         .expect("run recommend");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.matches("poi ").count(), 3, "{stdout}");
 
@@ -62,7 +88,11 @@ fn full_cli_roundtrip() {
         .arg(&model)
         .output()
         .expect("run evaluate");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Hit@10"), "{stdout}");
 

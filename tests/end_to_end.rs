@@ -95,7 +95,11 @@ fn category_slices_train_end_to_end() {
             },
         );
         let model = trainer.train(|_, _| {});
-        assert!(model.predict(0, 0, 0).is_finite(), "{} slice broke", cat.label());
+        assert!(
+            model.predict(0, 0, 0).is_finite(),
+            "{} slice broke",
+            cat.label()
+        );
     }
 }
 
@@ -112,9 +116,9 @@ fn csv_roundtrip_preserves_training_behaviour() {
         epochs: 10,
         ..Default::default()
     };
-    let m1 = TcssTrainer::new(&data, &split.train, Granularity::Month, cfg.clone()).train(|_, _| {});
-    let m2 =
-        TcssTrainer::new(&reloaded, &split.train, Granularity::Month, cfg).train(|_, _| {});
+    let m1 =
+        TcssTrainer::new(&data, &split.train, Granularity::Month, cfg.clone()).train(|_, _| {});
+    let m2 = TcssTrainer::new(&reloaded, &split.train, Granularity::Month, cfg).train(|_, _| {});
     for i in (0..data.n_users).step_by(17) {
         for j in (0..data.n_pois()).step_by(13) {
             assert!((m1.predict(i, j, 3) - m2.predict(i, j, 3)).abs() < 1e-12);

@@ -46,7 +46,12 @@ fn claim_rewritten_loss_equivalence() {
 #[test]
 fn claim_rewritten_loss_is_much_faster() {
     let (data, split) = setup();
-    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &data,
+        &split.train,
+        Granularity::Month,
+        TcssConfig::default(),
+    );
     let model = trainer.init_model();
     // Min over repeats: robust to scheduling noise when the whole workspace
     // test suite runs in parallel.
@@ -89,8 +94,8 @@ fn claim_whole_data_beats_negative_sampling() {
         hausdorff_every: 5,
         ..Default::default()
     };
-    let whole = TcssTrainer::new(&data, &split.train, Granularity::Month, base.clone())
-        .train(|_, _| {});
+    let whole =
+        TcssTrainer::new(&data, &split.train, Granularity::Month, base.clone()).train(|_, _| {});
     let sampled = TcssTrainer::new(
         &data,
         &split.train,
@@ -125,8 +130,7 @@ fn claim_spectral_init_converges_faster() {
             lambda: 0.0,
             ..Default::default()
         };
-        let model =
-            TcssTrainer::new(&data, &split.train, Granularity::Month, cfg).train(|_, _| {});
+        let model = TcssTrainer::new(&data, &split.train, Granularity::Month, cfg).train(|_, _| {});
         evaluate_ranking(
             &split.test,
             data.n_pois(),
@@ -149,11 +153,19 @@ fn claim_spectral_init_converges_faster() {
 #[test]
 fn claim_negative_sampling_is_stochastic_whole_data_is_not() {
     let (data, split) = setup();
-    let trainer = TcssTrainer::new(&data, &split.train, Granularity::Month, TcssConfig::default());
+    let trainer = TcssTrainer::new(
+        &data,
+        &split.train,
+        Granularity::Month,
+        TcssConfig::default(),
+    );
     let model = trainer.init_model();
     let (l1, _) = negative_sampling_loss_and_grad(&model, &trainer.tensor, 0.9, 0.1, 1);
     let (l2, _) = negative_sampling_loss_and_grad(&model, &trainer.tensor, 0.9, 0.1, 2);
-    assert!((l1 - l2).abs() > 1e-9, "different seeds must sample differently");
+    assert!(
+        (l1 - l2).abs() > 1e-9,
+        "different seeds must sample differently"
+    );
     let (r1, _) = rewritten_loss_and_grad(&model, trainer.tensor.entries(), 0.9, 0.1);
     let (r2, _) = rewritten_loss_and_grad(&model, trainer.tensor.entries(), 0.9, 0.1);
     assert_eq!(r1, r2, "whole-data loss must be deterministic");
@@ -180,7 +192,9 @@ fn claim_tensor_beats_matrix_completion() {
     let mt = evaluate_ranking(&split.test, data.n_pois(), &cfg, |i, j, k| {
         tcss.predict(i, j, k)
     });
-    let mm = evaluate_ranking(&split.test, data.n_pois(), &cfg, |i, j, k| svd.score(i, j, k));
+    let mm = evaluate_ranking(&split.test, data.n_pois(), &cfg, |i, j, k| {
+        svd.score(i, j, k)
+    });
     assert!(
         mt.hit_at_k > mm.hit_at_k,
         "TCSS ({:.3}) must beat PureSVD ({:.3})",

@@ -13,19 +13,18 @@ use tcss::sparse::{CsrMatrix, Mode, ModeGramOp, SparseTensor3};
 
 /// A small random sparse binary tensor plus its dimensions.
 fn tensor_strategy() -> impl Strategy<Value = SparseTensor3> {
-    (2usize..6, 2usize..6, 2usize..5)
-        .prop_flat_map(|(i, j, k)| {
-            let cells = proptest::collection::vec(
-                (0..i, 0..j, 0..k).prop_map(|(a, b, c)| (a, b, c, 1.0)),
-                1..20,
-            );
-            cells.prop_map(move |entries| {
-                // Duplicates sum; the paper's check-in tensors are binary.
-                SparseTensor3::from_entries((i, j, k), entries)
-                    .expect("in range")
-                    .binarized()
-            })
+    (2usize..6, 2usize..6, 2usize..5).prop_flat_map(|(i, j, k)| {
+        let cells = proptest::collection::vec(
+            (0..i, 0..j, 0..k).prop_map(|(a, b, c)| (a, b, c, 1.0)),
+            1..20,
+        );
+        cells.prop_map(move |entries| {
+            // Duplicates sum; the paper's check-in tensors are binary.
+            SparseTensor3::from_entries((i, j, k), entries)
+                .expect("in range")
+                .binarized()
         })
+    })
 }
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -34,8 +33,11 @@ fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 }
 
 fn points_strategy() -> impl Strategy<Value = Vec<GeoPoint>> {
-    proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..8)
-        .prop_map(|v| v.into_iter().map(|(lon, lat)| GeoPoint::new(lon, lat)).collect())
+    proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..8).prop_map(|v| {
+        v.into_iter()
+            .map(|(lon, lat)| GeoPoint::new(lon, lat))
+            .collect()
+    })
 }
 
 // ---------------------------------------------------------------------
