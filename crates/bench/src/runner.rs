@@ -246,10 +246,18 @@ pub fn run_model(name: ModelName, p: &Prepared) -> ModelResult {
 
 /// Fit and evaluate TCSS under an arbitrary configuration (the ablation and
 /// sweep experiments reuse this).
+///
+/// Runs under the divergence watchdog: a sweep point whose hyperparameters
+/// blow up is retried with learning-rate backoff and, if it still diverges,
+/// aborts the whole experiment with a clear message instead of scoring
+/// NaN factors as if they were a result.
 pub fn run_tcss(p: &Prepared, config: TcssConfig) -> ModelResult {
     let start = Instant::now();
     let trainer = TcssTrainer::new(&p.data, &p.split.train, p.granularity, config);
-    let model = trainer.train(|_, _| {});
+    let report = trainer
+        .train_with_checkpoints(|_| {})
+        .unwrap_or_else(|e| panic!("TCSS training on {} failed: {e}", p.label));
+    let model = report.model;
     let train_secs = start.elapsed().as_secs_f64();
     let score = trainer.score_fn(&model);
     let metrics = evaluate_ranking(&p.split.test, p.data.n_pois(), &p.eval, score);

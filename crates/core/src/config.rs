@@ -1,5 +1,7 @@
 //! TCSS hyperparameters and the ablation variant switches of Table II.
 
+use std::path::PathBuf;
+
 /// Embedding initialization method (§IV-A and the Table II ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InitMethod {
@@ -98,6 +100,29 @@ pub struct TcssConfig {
     /// deterministic-reduction contract in `tcss_linalg::parallel`, this
     /// knob changes wall-clock time only — never a single bit of output.
     pub num_threads: Option<usize>,
+    /// Directory where [`crate::train::TcssTrainer::train_with_checkpoints`]
+    /// writes its rolling checkpoint file. `None` disables on-disk
+    /// checkpoints (the watchdog still keeps an in-memory rollback
+    /// snapshot).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint / rollback-snapshot cadence in epochs.
+    pub checkpoint_every: usize,
+    /// Resume training from this checkpoint file instead of initializing
+    /// a fresh model. The checkpoint's config fingerprint must match this
+    /// config (`epochs`, threading and checkpoint policy may differ — see
+    /// [`crate::checkpoint::config_fingerprint`]).
+    pub resume_from: Option<PathBuf>,
+    /// Divergence-watchdog threshold: an epoch whose gradient norm or
+    /// joint loss magnitude exceeds this (or is NaN/Inf) is rejected and
+    /// rolled back. The default is far above anything a healthy run
+    /// produces, so the watchdog never perturbs normal training.
+    pub max_grad_norm: f64,
+    /// Bounded watchdog retries: after this many rollbacks the run aborts
+    /// with [`crate::train::TrainError::Diverged`] instead of looping.
+    pub max_retries: u32,
+    /// Learning-rate backoff factor applied on each watchdog rollback
+    /// (`lr ← lr · lr_backoff`); must lie in `(0, 1)`.
+    pub lr_backoff: f64,
 }
 
 impl Default for TcssConfig {
@@ -120,6 +145,12 @@ impl Default for TcssConfig {
             seed: 7,
             hausdorff_every: 3,
             num_threads: None,
+            checkpoint_dir: None,
+            checkpoint_every: 25,
+            resume_from: None,
+            max_grad_norm: 1e12,
+            max_retries: 3,
+            lr_backoff: 0.5,
         }
     }
 }
@@ -179,6 +210,94 @@ impl TcssConfig {
             ..Self::default()
         }
     }
+
+    /// Validate every field against its documented domain. Every training
+    /// entry point calls this before touching data, so a bad configuration
+    /// surfaces as a typed error instead of a panic (or worse, a silently
+    /// nonsensical run) deep inside an epoch.
+    pub fn validate(&self) -> Result<(), String> {
+        fn finite(v: f64, name: &str) -> Result<(), String> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite, got {v}"))
+            }
+        }
+        if self.rank == 0 {
+            return Err("rank must be at least 1".into());
+        }
+        finite(self.w_plus, "w_plus")?;
+        finite(self.w_minus, "w_minus")?;
+        if self.w_plus <= 0.0 || self.w_plus > 1.0 {
+            return Err(format!("w_plus must lie in (0, 1], got {}", self.w_plus));
+        }
+        if !(0.0..=1.0).contains(&self.w_minus) {
+            return Err(format!("w_minus must lie in [0, 1], got {}", self.w_minus));
+        }
+        finite(self.lambda, "lambda")?;
+        if self.lambda < 0.0 {
+            return Err(format!("lambda must be non-negative, got {}", self.lambda));
+        }
+        finite(self.alpha, "alpha")?;
+        if self.alpha == 0.0 {
+            return Err("alpha must be nonzero (the generalized mean of Eq 11 \
+                        is undefined at 0)"
+                .into());
+        }
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 || self.epsilon.is_infinite() {
+            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+        }
+        if self.learning_rate.is_nan()
+            || self.learning_rate <= 0.0
+            || self.learning_rate.is_infinite()
+        {
+            return Err(format!(
+                "learning_rate must be positive, got {}",
+                self.learning_rate
+            ));
+        }
+        finite(self.weight_decay, "weight_decay")?;
+        if self.weight_decay < 0.0 {
+            return Err(format!(
+                "weight_decay must be non-negative, got {}",
+                self.weight_decay
+            ));
+        }
+        if self.zero_out_sigma.is_nan()
+            || self.zero_out_sigma <= 0.0
+            || self.zero_out_sigma.is_infinite()
+        {
+            return Err(format!(
+                "zero_out_sigma must be positive, got {}",
+                self.zero_out_sigma
+            ));
+        }
+        if self.hausdorff_candidates == Some(0) {
+            return Err("hausdorff_candidates must be at least 1 when set".into());
+        }
+        if self.hausdorff_every == 0 {
+            return Err("hausdorff_every must be at least 1".into());
+        }
+        if self.num_threads == Some(0) {
+            return Err("num_threads must be at least 1 when set".into());
+        }
+        if self.checkpoint_every == 0 {
+            return Err("checkpoint_every must be at least 1".into());
+        }
+        if self.max_grad_norm.is_nan() || self.max_grad_norm <= 0.0 {
+            return Err(format!(
+                "max_grad_norm must be positive, got {}",
+                self.max_grad_norm
+            ));
+        }
+        if self.lr_backoff.is_nan() || self.lr_backoff <= 0.0 || self.lr_backoff >= 1.0 {
+            return Err(format!(
+                "lr_backoff must lie in (0, 1), got {}",
+                self.lr_backoff
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +336,172 @@ mod tests {
         );
         // Everything else stays at the paper defaults.
         assert_eq!(TcssConfig::ablation_random_init().rank, 10);
+    }
+
+    #[test]
+    fn default_and_all_ablations_validate() {
+        for cfg in [
+            TcssConfig::default(),
+            TcssConfig::ablation_random_init(),
+            TcssConfig::ablation_onehot_init(),
+            TcssConfig::ablation_no_l1(),
+            TcssConfig::ablation_negative_sampling(),
+            TcssConfig::ablation_self_hausdorff(),
+            TcssConfig::ablation_zero_out(),
+        ] {
+            cfg.validate().expect("stock config must validate");
+        }
+    }
+
+    /// One rejection case per validated field; the error message must name
+    /// the offending field so CLI users can act on it.
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let base = TcssConfig::default;
+        let cases: Vec<(TcssConfig, &str)> = vec![
+            (TcssConfig { rank: 0, ..base() }, "rank"),
+            (
+                TcssConfig {
+                    w_plus: 0.0,
+                    ..base()
+                },
+                "w_plus",
+            ),
+            (
+                TcssConfig {
+                    w_plus: f64::NAN,
+                    ..base()
+                },
+                "w_plus",
+            ),
+            (
+                TcssConfig {
+                    w_minus: -0.1,
+                    ..base()
+                },
+                "w_minus",
+            ),
+            (
+                TcssConfig {
+                    lambda: -1.0,
+                    ..base()
+                },
+                "lambda",
+            ),
+            (
+                TcssConfig {
+                    lambda: f64::INFINITY,
+                    ..base()
+                },
+                "lambda",
+            ),
+            (
+                TcssConfig {
+                    alpha: 0.0,
+                    ..base()
+                },
+                "alpha",
+            ),
+            (
+                TcssConfig {
+                    epsilon: 0.0,
+                    ..base()
+                },
+                "epsilon",
+            ),
+            (
+                TcssConfig {
+                    learning_rate: 0.0,
+                    ..base()
+                },
+                "learning_rate",
+            ),
+            (
+                TcssConfig {
+                    learning_rate: f64::NAN,
+                    ..base()
+                },
+                "learning_rate",
+            ),
+            (
+                TcssConfig {
+                    weight_decay: -0.5,
+                    ..base()
+                },
+                "weight_decay",
+            ),
+            (
+                TcssConfig {
+                    zero_out_sigma: 0.0,
+                    ..base()
+                },
+                "zero_out_sigma",
+            ),
+            (
+                TcssConfig {
+                    hausdorff_candidates: Some(0),
+                    ..base()
+                },
+                "hausdorff_candidates",
+            ),
+            (
+                TcssConfig {
+                    hausdorff_every: 0,
+                    ..base()
+                },
+                "hausdorff_every",
+            ),
+            (
+                TcssConfig {
+                    num_threads: Some(0),
+                    ..base()
+                },
+                "num_threads",
+            ),
+            (
+                TcssConfig {
+                    checkpoint_every: 0,
+                    ..base()
+                },
+                "checkpoint_every",
+            ),
+            (
+                TcssConfig {
+                    max_grad_norm: 0.0,
+                    ..base()
+                },
+                "max_grad_norm",
+            ),
+            (
+                TcssConfig {
+                    lr_backoff: 1.0,
+                    ..base()
+                },
+                "lr_backoff",
+            ),
+            (
+                TcssConfig {
+                    lr_backoff: 0.0,
+                    ..base()
+                },
+                "lr_backoff",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().expect_err(field);
+            assert!(err.contains(field), "error {err:?} should mention {field}");
+        }
+    }
+
+    #[test]
+    fn watchdog_defaults_are_conservative() {
+        let c = TcssConfig::default();
+        // The explosion threshold must sit far above healthy gradient norms
+        // so the watchdog never fires on a normal run.
+        assert!(c.max_grad_norm >= 1e9);
+        assert!(c.max_retries >= 1);
+        assert!(c.lr_backoff > 0.0 && c.lr_backoff < 1.0);
+        assert!(c.checkpoint_every >= 1);
+        assert!(c.checkpoint_dir.is_none() && c.resume_from.is_none());
     }
 }

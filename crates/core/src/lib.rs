@@ -16,6 +16,11 @@
 //! | Eq 20 — joint training `L = λL₁ + L₂` with Adam | [`train`] |
 //! | Table II — ablation variants | [`config`] (variant enums) |
 //!
+//! Beyond the paper, [`train`] hosts a fault-tolerant runtime
+//! (checkpoint/resume + divergence watchdog, backed by [`checkpoint`])
+//! and [`fault`] a deterministic fault-injection harness that proves its
+//! recovery paths in `tests/fault_injection.rs`.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -35,7 +40,9 @@
 // chains over multiple parallel buffers obscure rather than clarify them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod config;
+pub mod fault;
 pub mod hausdorff;
 pub mod init;
 pub mod loss;
@@ -43,12 +50,16 @@ pub mod model;
 pub mod model_io;
 pub mod train;
 
+pub use checkpoint::{
+    config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint, CHECKPOINT_FILE,
+};
 pub use config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+pub use fault::FaultPlan;
 pub use hausdorff::SocialHausdorffHead;
 pub use init::{onehot_init, random_init, solve_h, spectral_init};
 pub use loss::{
     naive_whole_data_loss, negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads,
 };
 pub use model::TcssModel;
-pub use model_io::{load_model, save_model};
-pub use train::{TcssTrainer, TrainContext};
+pub use model_io::{load_model, save_model, ModelIoError};
+pub use train::{TcssTrainer, TrainContext, TrainError, TrainReport};

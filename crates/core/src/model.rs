@@ -25,16 +25,31 @@ impl TcssModel {
     /// Assemble a model from pre-initialized factors; `h` starts at all
     /// ones, making the initial model exactly the CP estimate of the
     /// spectral factors.
+    ///
+    /// Panics on mismatched factor ranks; use [`TcssModel::try_new`] where
+    /// the factors come from an untrusted source (files, checkpoints).
     pub fn new(u1: Matrix, u2: Matrix, u3: Matrix) -> Self {
-        assert_eq!(u1.cols(), u2.cols(), "factor ranks must agree");
-        assert_eq!(u2.cols(), u3.cols(), "factor ranks must agree");
+        Self::try_new(u1, u2, u3).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`TcssModel::new`]: dimension validation as a `Result`
+    /// instead of a panic.
+    pub fn try_new(u1: Matrix, u2: Matrix, u3: Matrix) -> Result<Self, String> {
+        if u1.cols() != u2.cols() || u2.cols() != u3.cols() {
+            return Err(format!(
+                "factor ranks must agree: u1 has {}, u2 has {}, u3 has {}",
+                u1.cols(),
+                u2.cols(),
+                u3.cols()
+            ));
+        }
         let r = u1.cols();
-        TcssModel {
+        Ok(TcssModel {
             u1,
             u2,
             u3,
             h: vec![1.0; r],
-        }
+        })
     }
 
     /// `(I, J, K)` dimensions.
@@ -230,11 +245,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ranks must agree")]
     fn mismatched_ranks_rejected() {
         let u1 = Matrix::zeros(2, 2);
         let u2 = Matrix::zeros(3, 3);
         let u3 = Matrix::zeros(2, 2);
-        TcssModel::new(u1, u2, u3);
+        let err = TcssModel::try_new(u1, u2, u3).unwrap_err();
+        assert!(err.contains("ranks must agree"), "{err}");
     }
 }

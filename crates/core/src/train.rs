@@ -1,15 +1,98 @@
 //! Joint training: `L = λ·L₁ + L₂` with Adam (paper Eq 20, §V-D).
+//!
+//! Two training entry points share one epoch kernel:
+//!
+//! * [`TcssTrainer::train`] / [`TcssTrainer::train_detailed`] — the plain
+//!   loop, unchanged semantics.
+//! * [`TcssTrainer::train_with_checkpoints`] — the fault-tolerant runtime:
+//!   atomic versioned checkpoints (see [`crate::checkpoint`]), resume via
+//!   `TcssConfig::resume_from` with a bit-for-bit identity guarantee, and
+//!   a divergence watchdog that rolls back to the last good state with
+//!   learning-rate backoff instead of emitting garbage factors.
 
+use crate::checkpoint::{
+    config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint, CHECKPOINT_FILE,
+};
 use crate::config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+use crate::fault::{poison, FaultPlan};
 use crate::hausdorff::SocialHausdorffHead;
 use crate::init::{onehot_init, random_init, spectral_init};
 use crate::loss::{negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads};
 use crate::model::TcssModel;
+use crate::model_io::ModelIoError;
 use tcss_data::{CheckIn, Dataset, Granularity};
 use tcss_geo::WeightedHausdorffParams;
 use tcss_sparse::SparseTensor3;
 
+/// Typed failures from the fault-tolerant training runtime.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A config or dimension precondition failed before training started.
+    InvalidConfig(String),
+    /// The divergence watchdog exhausted its retry budget.
+    Diverged {
+        /// Epoch at which the final rejected update was produced.
+        epoch: usize,
+        /// Rollbacks consumed (equals `TcssConfig::max_retries` + 1 hits).
+        retries: u32,
+        /// What tripped the watchdog (NaN loss, gradient explosion, …).
+        detail: String,
+    },
+    /// Reading or writing a checkpoint failed (I/O or corruption).
+    Checkpoint(ModelIoError),
+    /// A simulated crash injected by a [`FaultPlan`] (tests only).
+    InjectedCrash {
+        /// Epoch the crash pre-empted.
+        epoch: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TrainError::Diverged {
+                epoch,
+                retries,
+                detail,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} after {retries} rollback(s): {detail}"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            TrainError::InjectedCrash { epoch } => {
+                write!(f, "injected crash before epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<ModelIoError> for TrainError {
+    fn from(e: ModelIoError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Outcome of a fault-tolerant training run.
+#[derive(Debug)]
+pub struct TrainReport {
+    /// The trained model.
+    pub model: TcssModel,
+    /// Epoch the run started from (0 for a fresh run, the checkpoint's
+    /// cursor when resumed).
+    pub start_epoch: usize,
+    /// Watchdog rollbacks consumed over the whole run (including any
+    /// recorded in a resumed checkpoint).
+    pub rollbacks: u32,
+    /// Final learning-rate multiplier after backoff (1.0 if the watchdog
+    /// never fired).
+    pub lr_scale: f64,
+}
+
 /// Adam state over a [`Grads`]-shaped parameter space.
+#[derive(Clone)]
 struct AdamState {
     m: Grads,
     v: Grads,
@@ -140,16 +223,30 @@ impl TcssTrainer {
         }
     }
 
-    /// Initialize the factor matrices per the configured method.
-    pub fn init_model(&self) -> TcssModel {
+    /// Validate the configuration against this trainer's tensor: every
+    /// field-domain check of [`TcssConfig::validate`] plus the rank/dims
+    /// cap the paper notes (r ≤ K at month granularity).
+    pub fn validate(&self) -> Result<(), TrainError> {
+        self.config.validate().map_err(TrainError::InvalidConfig)?;
         let dims = self.tensor.dims();
         let r = self.config.rank;
         let max_r = dims.0.min(dims.1).min(dims.2);
-        assert!(
-            r <= max_r,
-            "rank {r} exceeds the smallest tensor dimension {max_r} \
-             (the paper notes the same cap: r ≤ K at month granularity)"
-        );
+        if r > max_r {
+            return Err(TrainError::InvalidConfig(format!(
+                "rank {r} exceeds the smallest tensor dimension {max_r} \
+                 (the paper notes the same cap: r ≤ K at month granularity)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Fallible [`TcssTrainer::init_model`]: initialize the factor
+    /// matrices per the configured method, reporting bad config/dimension
+    /// combinations as a typed error instead of a panic.
+    pub fn try_init_model(&self) -> Result<TcssModel, TrainError> {
+        self.validate()?;
+        let dims = self.tensor.dims();
+        let r = self.config.rank;
         let (u1, u2, u3) = match self.config.init {
             InitMethod::Spectral => spectral_init(&self.tensor, r, self.config.seed),
             InitMethod::Random => random_init(dims, r, self.config.seed),
@@ -158,7 +255,15 @@ impl TcssTrainer {
         // Note: `init::solve_h` can put `h` at the exact L₂ optimum for the
         // spectral factors, but empirically the h = 1 (CP-like) start lands
         // in a better basin after full training, so all variants share it.
-        TcssModel::new(u1, u2, u3)
+        Ok(TcssModel::new(u1, u2, u3))
+    }
+
+    /// Initialize the factor matrices per the configured method.
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`TcssTrainer::try_init_model`] for a `Result`.
+    pub fn init_model(&self) -> TcssModel {
+        self.try_init_model().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Train a freshly-initialized model. The callback observes each epoch.
@@ -173,6 +278,35 @@ impl TcssTrainer {
         model
     }
 
+    /// One epoch's losses and joint gradient — the kernel shared by every
+    /// training loop, so the plain and checkpointed paths cannot drift
+    /// apart numerically.
+    fn epoch_grads(&self, model: &TcssModel, epoch: usize) -> (f64, f64, Grads) {
+        let cfg = &self.config;
+        let (l2, mut grads) = match cfg.loss {
+            LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
+                // The naive strategy optimizes the same objective; the
+                // rewritten gradient is exact for it (Remark 1), so the
+                // timing experiment measures only the *loss evaluation*.
+                rewritten_loss_and_grad(model, self.tensor.entries(), cfg.w_plus, cfg.w_minus)
+            }
+            LossStrategy::NegativeSampling => negative_sampling_loss_and_grad(
+                model,
+                &self.tensor,
+                cfg.w_plus,
+                cfg.w_minus,
+                cfg.seed.wrapping_add(epoch as u64),
+            ),
+        };
+        let mut l1 = 0.0;
+        if let Some(head) = &self.head {
+            if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
+                l1 = head.loss_and_grad(model, &mut grads, cfg.lambda);
+            }
+        }
+        (l2, l1, grads)
+    }
+
     /// Train an externally-initialized model in place (used by the Fig 9
     /// convergence study to compare initializations under identical loops).
     pub fn train_model(&self, model: &mut TcssModel, on_epoch: &mut impl FnMut(TrainContext)) {
@@ -184,30 +318,188 @@ impl TcssTrainer {
         }
         let mut adam = AdamState::new(model);
         for epoch in 0..cfg.epochs {
-            let (l2, mut grads) = match cfg.loss {
-                LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
-                    // The naive strategy optimizes the same objective; the
-                    // rewritten gradient is exact for it (Remark 1), so the
-                    // timing experiment measures only the *loss evaluation*.
-                    rewritten_loss_and_grad(model, self.tensor.entries(), cfg.w_plus, cfg.w_minus)
-                }
-                LossStrategy::NegativeSampling => negative_sampling_loss_and_grad(
-                    model,
-                    &self.tensor,
-                    cfg.w_plus,
-                    cfg.w_minus,
-                    cfg.seed.wrapping_add(epoch as u64),
-                ),
-            };
-            let mut l1 = 0.0;
-            if let Some(head) = &self.head {
-                if cfg.lambda > 0.0 && epoch % cfg.hausdorff_every == 0 {
-                    l1 = head.loss_and_grad(model, &mut grads, cfg.lambda);
-                }
-            }
+            let (l2, l1, grads) = self.epoch_grads(model, epoch);
             adam.step(model, &grads, cfg.learning_rate, cfg.weight_decay);
             on_epoch(TrainContext { epoch, l2, l1 });
         }
+    }
+
+    /// Fault-tolerant training: checkpoints, resume, and the divergence
+    /// watchdog. See [`TcssTrainer::train_with_faults`]; this entry point
+    /// simply injects no faults.
+    ///
+    /// Guarantees, verified by `tests/fault_injection.rs`:
+    ///
+    /// * With no faults and no resume, the returned model is bit-for-bit
+    ///   identical to [`TcssTrainer::train`]'s.
+    /// * A run killed at any epoch and resumed from its last checkpoint
+    ///   produces a model bit-for-bit identical to an uninterrupted run,
+    ///   at any thread count.
+    /// * A non-finite or exploding epoch never reaches the factors: the
+    ///   watchdog rolls back to the last good state, scales the learning
+    ///   rate by `lr_backoff`, and after `max_retries` rollbacks returns
+    ///   [`TrainError::Diverged`] instead of silently-garbage factors.
+    pub fn train_with_checkpoints(
+        &self,
+        on_epoch: impl FnMut(TrainContext),
+    ) -> Result<TrainReport, TrainError> {
+        self.train_with_faults(&FaultPlan::none(), on_epoch)
+    }
+
+    /// [`TcssTrainer::train_with_checkpoints`] with a deterministic
+    /// [`FaultPlan`] — the fault-injection harness entry point used by the
+    /// recovery test suites. Production callers pass [`FaultPlan::none`]
+    /// (or call `train_with_checkpoints`).
+    ///
+    /// The per-epoch callback may observe the same epoch index more than
+    /// once: after a watchdog rollback, epochs replay from the last good
+    /// snapshot.
+    pub fn train_with_faults(
+        &self,
+        faults: &FaultPlan,
+        mut on_epoch: impl FnMut(TrainContext),
+    ) -> Result<TrainReport, TrainError> {
+        let cfg = &self.config;
+        self.validate()?;
+        if cfg.num_threads.is_some() {
+            tcss_linalg::set_num_threads(cfg.num_threads);
+        }
+        let fingerprint = config_fingerprint(cfg);
+
+        // --- Fresh start or resume ---------------------------------------
+        let (mut model, mut adam, start_epoch, mut lr_scale, mut retries) = match &cfg.resume_from {
+            Some(path) => {
+                let ck = load_checkpoint(path)?;
+                if ck.fingerprint != fingerprint {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "checkpoint {} was written under a different \
+                             training configuration (fingerprint {:016x}, \
+                             expected {fingerprint:016x}); refusing to mix \
+                             trajectories",
+                        path.display(),
+                        ck.fingerprint
+                    )));
+                }
+                if ck.model.dims() != self.tensor.dims() {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "checkpoint model dims {:?} do not match the \
+                             training tensor {:?}",
+                        ck.model.dims(),
+                        self.tensor.dims()
+                    )));
+                }
+                let adam = AdamState {
+                    m: ck.m,
+                    v: ck.v,
+                    t: ck.adam_t,
+                };
+                (ck.model, adam, ck.epoch, ck.lr_scale, ck.retries)
+            }
+            None => {
+                let model = self.try_init_model()?;
+                let adam = AdamState::new(&model);
+                (model, adam, 0, 1.0, 0)
+            }
+        };
+
+        // Last state known to be healthy; the rollback target. Starts at
+        // the initial (or resumed) state and is refreshed on the
+        // checkpoint cadence, after the watchdog has accepted the epochs
+        // leading up to it.
+        let mut last_good = (model.clone(), adam.clone(), start_epoch);
+        let checkpoint_path = cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(CHECKPOINT_FILE));
+        if let Some(dir) = &cfg.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| TrainError::Checkpoint(ModelIoError::Fs(e)))?;
+        }
+
+        let mut epoch = start_epoch;
+        while epoch < cfg.epochs {
+            if faults.take_crash(epoch) {
+                return Err(TrainError::InjectedCrash { epoch });
+            }
+            let (l2, l1, mut grads) = self.epoch_grads(&model, epoch);
+            if faults.take_poison(epoch) {
+                poison(&mut grads);
+            }
+
+            // --- Divergence watchdog -------------------------------------
+            let joint = cfg.lambda.mul_add(l1, l2);
+            let gnorm = grads.norm();
+            let trouble = if !joint.is_finite() {
+                Some(format!("non-finite loss (L₂ {l2}, L₁ {l1})"))
+            } else if !gnorm.is_finite() {
+                Some(format!("non-finite gradient norm {gnorm}"))
+            } else if gnorm > cfg.max_grad_norm {
+                Some(format!(
+                    "gradient norm {gnorm:.3e} exceeds max_grad_norm {:.3e}",
+                    cfg.max_grad_norm
+                ))
+            } else if joint.abs() > cfg.max_grad_norm {
+                Some(format!(
+                    "loss magnitude {:.3e} exceeds max_grad_norm {:.3e}",
+                    joint.abs(),
+                    cfg.max_grad_norm
+                ))
+            } else {
+                None
+            };
+            if let Some(detail) = trouble {
+                retries += 1;
+                if retries > cfg.max_retries {
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        retries,
+                        detail,
+                    });
+                }
+                lr_scale *= cfg.lr_backoff;
+                let (m, a, e) = &last_good;
+                model = m.clone();
+                adam = a.clone();
+                epoch = *e;
+                continue;
+            }
+
+            adam.step(
+                &mut model,
+                &grads,
+                cfg.learning_rate * lr_scale,
+                cfg.weight_decay,
+            );
+            on_epoch(TrainContext { epoch, l2, l1 });
+            epoch += 1;
+
+            // --- Checkpoint / snapshot cadence ----------------------------
+            let due = epoch.is_multiple_of(cfg.checkpoint_every) || epoch == cfg.epochs;
+            if due && model_is_finite(&model) {
+                last_good = (model.clone(), adam.clone(), epoch);
+                if let Some(path) = &checkpoint_path {
+                    let ck = Checkpoint {
+                        epoch,
+                        adam_t: adam.t,
+                        lr_scale,
+                        retries,
+                        seed: cfg.seed,
+                        fingerprint,
+                        model: model.clone(),
+                        m: adam.m.clone(),
+                        v: adam.v.clone(),
+                    };
+                    save_checkpoint(&ck, path)?;
+                }
+            }
+        }
+
+        Ok(TrainReport {
+            model,
+            start_epoch,
+            rollbacks: retries,
+            lr_scale,
+        })
     }
 
     /// Score function for ranking, applying the ZeroOut mask when that
@@ -225,6 +517,16 @@ impl TcssTrainer {
             model.predict(i, j, k)
         }
     }
+}
+
+/// Every parameter finite? Guards the rollback target: a state that
+/// already went non-finite (finite-but-huge gradients can overflow the
+/// Adam update) must never become a snapshot or a checkpoint.
+fn model_is_finite(model: &TcssModel) -> bool {
+    model.u1.as_slice().iter().all(|v| v.is_finite())
+        && model.u2.as_slice().iter().all(|v| v.is_finite())
+        && model.u3.as_slice().iter().all(|v| v.is_finite())
+        && model.h.iter().all(|v| v.is_finite())
 }
 
 #[cfg(test)]
@@ -342,14 +644,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank")]
     fn oversized_rank_is_rejected() {
         let cfg = TcssConfig {
             rank: 13, // > K = 12
             ..TcssConfig::default()
         };
         let (_, _, trainer) = small_setup(cfg);
-        let _ = trainer.init_model();
+        let err = trainer.try_init_model().unwrap_err();
+        assert!(
+            matches!(err, TrainError::InvalidConfig(_)),
+            "expected InvalidConfig, got {err:?}"
+        );
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_training() {
+        let cfg = TcssConfig {
+            learning_rate: -1.0,
+            ..TcssConfig::default()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let err = trainer
+            .train_with_checkpoints(|_| {})
+            .expect_err("negative learning rate must be rejected");
+        assert!(err.to_string().contains("learning_rate"), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_bitwise() {
+        let cfg = TcssConfig {
+            epochs: 8,
+            rank: 4,
+            ..TcssConfig::default()
+        };
+        let (_, _, trainer) = small_setup(cfg);
+        let plain = trainer.train(|_, _| {});
+        let report = trainer.train_with_checkpoints(|_| {}).expect("trains");
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.lr_scale, 1.0);
+        let a: Vec<u64> = plain.u1.as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = report
+            .model
+            .u1
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(a, b, "fault-tolerant path must not perturb training");
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Recovery-path proofs for the fault-tolerant training runtime.
+//!
+//! Every test here drives a *real* failure through
+//! `TcssTrainer::train_with_faults` (see `tcss_core::fault`) and asserts
+//! the documented recovery behaviour:
+//!
+//! * kill-and-resume reproduces an uninterrupted run **bit-for-bit**, at
+//!   1 and 2 worker threads (extending the PR 1 determinism contract);
+//! * poisoned (NaN) gradients trigger rollback + learning-rate backoff
+//!   and the run still completes with finite loss;
+//! * a watchdog that keeps firing exhausts its bounded retries and
+//!   surfaces `TrainError::Diverged` instead of looping or emitting
+//!   garbage factors;
+//! * truncated or bit-flipped checkpoint files are detected at resume,
+//!   never loaded as silently wrong state.
+
+use std::path::{Path, PathBuf};
+use tcss_core::fault::{flip_byte, truncate_file};
+use tcss_core::{FaultPlan, TcssConfig, TcssModel, TcssTrainer, TrainError, CHECKPOINT_FILE};
+use tcss_data::{train_test_split, Dataset, Granularity, SynthPreset};
+
+fn model_bits(m: &TcssModel) -> Vec<u64> {
+    m.u1.as_slice()
+        .iter()
+        .chain(m.u2.as_slice())
+        .chain(m.u3.as_slice())
+        .chain(&m.h)
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn fixture() -> (Dataset, Vec<tcss_data::CheckIn>) {
+    let data = SynthPreset::Gmu5k.generate();
+    let split = train_test_split(&data.checkins, data.n_users, 0.8, 1);
+    (data, split.train)
+}
+
+/// A fast config that still exercises both loss heads and checkpoints at
+/// an awkward cadence (12 epochs, snapshots every 5 → the crash point is
+/// never on a snapshot boundary).
+fn small_config() -> TcssConfig {
+    TcssConfig {
+        epochs: 12,
+        rank: 4,
+        checkpoint_every: 5,
+        ..TcssConfig::default()
+    }
+}
+
+fn trainer(data: &Dataset, train: &[tcss_data::CheckIn], cfg: TcssConfig) -> TcssTrainer {
+    TcssTrainer::new(data, train, Granularity::Month, cfg)
+}
+
+fn unique_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tcss_fault_injection").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+// -----------------------------------------------------------------------
+// Kill-and-resume parity
+// -----------------------------------------------------------------------
+
+#[test]
+fn kill_and_resume_is_bitwise_identical_at_1_and_2_threads() {
+    let (data, train) = fixture();
+    for threads in [1usize, 2] {
+        let dir = unique_dir(&format!("resume_parity_t{threads}"));
+        let base = TcssConfig {
+            num_threads: Some(threads),
+            ..small_config()
+        };
+
+        // Reference: an uninterrupted plain run (no checkpointing at all).
+        let uninterrupted = trainer(&data, &train, base.clone()).train(|_, _| {});
+        let want = model_bits(&uninterrupted);
+
+        // Kill: same run with on-disk checkpoints, crashed at epoch 7 —
+        // between the snapshots at 5 and 10.
+        let killed_cfg = TcssConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..base.clone()
+        };
+        let err = trainer(&data, &train, killed_cfg)
+            .train_with_faults(&FaultPlan::crash_before_epoch(7), |_| {})
+            .expect_err("injected crash must abort the run");
+        assert!(
+            matches!(err, TrainError::InjectedCrash { epoch: 7 }),
+            "unexpected error: {err:?}"
+        );
+        let ckpt = dir.join(CHECKPOINT_FILE);
+        assert!(ckpt.exists(), "crash after epoch 5 must leave a checkpoint");
+
+        // Resume: continue from the checkpoint to completion.
+        let resumed_cfg = TcssConfig {
+            checkpoint_dir: Some(dir.clone()),
+            resume_from: Some(ckpt),
+            ..base.clone()
+        };
+        let report = trainer(&data, &train, resumed_cfg)
+            .train_with_checkpoints(|_| {})
+            .expect("resume completes");
+        assert_eq!(report.start_epoch, 5, "resume must start at the snapshot");
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(
+            want,
+            model_bits(&report.model),
+            "killed-and-resumed model differs from uninterrupted run at \
+             {threads} thread(s)"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn resume_can_extend_epochs_beyond_the_original_run() {
+    let (data, train) = fixture();
+    let dir = unique_dir("resume_extend");
+    let cfg = TcssConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..small_config()
+    };
+    trainer(&data, &train, cfg.clone())
+        .train_with_checkpoints(|_| {})
+        .expect("first run");
+    // Same trajectory config, more epochs: the fingerprint deliberately
+    // excludes `epochs`, so this resumes instead of erroring.
+    let extended = TcssConfig {
+        epochs: 16,
+        resume_from: Some(dir.join(CHECKPOINT_FILE)),
+        ..cfg
+    };
+    let report = trainer(&data, &train, extended)
+        .train_with_checkpoints(|_| {})
+        .expect("extension resumes");
+    assert_eq!(report.start_epoch, 12);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// -----------------------------------------------------------------------
+// Divergence watchdog
+// -----------------------------------------------------------------------
+
+#[test]
+fn poisoned_gradients_roll_back_with_lr_backoff_and_finish_finite() {
+    let (data, train) = fixture();
+    let t = trainer(&data, &train, small_config());
+    let mut last_joint = f64::NAN;
+    let report = t
+        .train_with_faults(&FaultPlan::poison_gradients_at(7), |ctx| {
+            last_joint = ctx.l2 + 240.0 * ctx.l1;
+        })
+        .expect("watchdog must recover from a single poisoned epoch");
+    assert_eq!(report.rollbacks, 1, "exactly one rollback expected");
+    assert_eq!(
+        report.lr_scale, 0.5,
+        "one rollback must halve the learning rate"
+    );
+    assert!(
+        last_joint.is_finite(),
+        "run must complete with finite loss, got {last_joint}"
+    );
+    for v in report
+        .model
+        .u1
+        .as_slice()
+        .iter()
+        .chain(report.model.u2.as_slice())
+        .chain(report.model.u3.as_slice())
+        .chain(&report.model.h)
+    {
+        assert!(v.is_finite(), "NaN leaked into the final factors");
+    }
+}
+
+#[test]
+fn watchdog_never_fires_on_a_healthy_run() {
+    let (data, train) = fixture();
+    let report = trainer(&data, &train, small_config())
+        .train_with_checkpoints(|_| {})
+        .expect("healthy run");
+    assert_eq!(report.rollbacks, 0);
+    assert_eq!(report.lr_scale, 1.0);
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_divergence_error() {
+    let (data, train) = fixture();
+    // A threshold below any real gradient norm: every epoch "diverges".
+    let cfg = TcssConfig {
+        max_grad_norm: 1e-300,
+        max_retries: 2,
+        ..small_config()
+    };
+    let err = trainer(&data, &train, cfg)
+        .train_with_checkpoints(|_| {})
+        .expect_err("must give up after bounded retries");
+    match err {
+        TrainError::Diverged {
+            retries, detail, ..
+        } => {
+            assert_eq!(retries, 3, "max_retries rollbacks plus the final hit");
+            assert!(
+                detail.contains("max_grad_norm"),
+                "detail should say what tripped: {detail}"
+            );
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+// -----------------------------------------------------------------------
+// Checkpoint corruption at resume time
+// -----------------------------------------------------------------------
+
+/// Produce a valid checkpoint file to corrupt.
+fn checkpointed_run(dir: &Path) -> (Dataset, Vec<tcss_data::CheckIn>, TcssConfig) {
+    let (data, train) = fixture();
+    let cfg = TcssConfig {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..small_config()
+    };
+    trainer(&data, &train, cfg.clone())
+        .train_with_checkpoints(|_| {})
+        .expect("seed run");
+    (data, train, cfg)
+}
+
+#[test]
+fn truncated_checkpoint_is_rejected_at_resume() {
+    let dir = unique_dir("truncated_ckpt");
+    let (data, train, cfg) = checkpointed_run(&dir);
+    let ckpt = dir.join(CHECKPOINT_FILE);
+    let len = std::fs::metadata(&ckpt).unwrap().len();
+    for keep in [0, 1, len / 2, len - 1] {
+        truncate_file(&ckpt, keep).unwrap();
+        let resumed = TcssConfig {
+            resume_from: Some(ckpt.clone()),
+            ..cfg.clone()
+        };
+        let err = trainer(&data, &train, resumed)
+            .train_with_checkpoints(|_| {})
+            .expect_err("truncated checkpoint must be rejected");
+        assert!(
+            matches!(err, TrainError::Checkpoint(_)),
+            "truncation to {keep}/{len} bytes: expected Checkpoint error, \
+             got {err:?}"
+        );
+        // Restore for the next truncation point.
+        trainer(&data, &train, cfg.clone())
+            .train_with_checkpoints(|_| {})
+            .expect("re-seed");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_checkpoint_is_rejected_at_resume() {
+    let dir = unique_dir("flipped_ckpt");
+    let (data, train, cfg) = checkpointed_run(&dir);
+    let ckpt = dir.join(CHECKPOINT_FILE);
+    let len = std::fs::metadata(&ckpt).unwrap().len();
+    for offset in [0, len / 4, len / 2, len - 2] {
+        flip_byte(&ckpt, offset, 0x08).unwrap();
+        let resumed = TcssConfig {
+            resume_from: Some(ckpt.clone()),
+            ..cfg.clone()
+        };
+        let err = trainer(&data, &train, resumed)
+            .train_with_checkpoints(|_| {})
+            .expect_err("bit-flipped checkpoint must be rejected");
+        assert!(
+            matches!(err, TrainError::Checkpoint(_)),
+            "flip at byte {offset}/{len}: expected Checkpoint error, got \
+             {err:?}"
+        );
+        flip_byte(&ckpt, offset, 0x08).unwrap(); // flip back
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_from_a_different_config_is_refused() {
+    let dir = unique_dir("fingerprint_mismatch");
+    let (data, train, cfg) = checkpointed_run(&dir);
+    let other = TcssConfig {
+        lambda: 1.0, // different trajectory
+        resume_from: Some(dir.join(CHECKPOINT_FILE)),
+        ..cfg
+    };
+    let err = trainer(&data, &train, other)
+        .train_with_checkpoints(|_| {})
+        .expect_err("fingerprint mismatch must refuse to resume");
+    assert!(matches!(err, TrainError::InvalidConfig(_)), "got {err:?}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_checkpoint_file_is_a_clean_error() {
+    let (data, train) = fixture();
+    let cfg = TcssConfig {
+        resume_from: Some(PathBuf::from("/nonexistent/nowhere.tcssck")),
+        ..small_config()
+    };
+    let err = trainer(&data, &train, cfg)
+        .train_with_checkpoints(|_| {})
+        .expect_err("missing file must error, not panic");
+    assert!(matches!(err, TrainError::Checkpoint(_)), "got {err:?}");
+}

@@ -27,6 +27,7 @@ pub mod split;
 pub mod synth;
 
 pub use dataset::{Category, CheckIn, Dataset, Granularity, Poi};
+pub use io::{load_dataset, load_dataset_lenient, save_dataset, DataIoError, LoadReport};
 pub use preprocess::{preprocess, PreprocessConfig};
 pub use split::{train_test_split, Split};
 pub use synth::{SynthConfig, SynthPreset};

@@ -12,8 +12,8 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use tcss::core::{load_model, save_model, TcssConfig, TcssModel, TcssTrainer};
-use tcss::data::io::{load_dataset, save_dataset};
+use tcss::core::{load_model, save_model, TcssConfig, TcssModel, TcssTrainer, CHECKPOINT_FILE};
+use tcss::data::io::{load_dataset, load_dataset_lenient, save_dataset};
 use tcss::prelude::*;
 
 fn main() -> ExitCode {
@@ -32,10 +32,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   tcss generate  --preset <gowalla|yelp|foursquare|gmu-5k> --out <stem> [--no-preprocess]
   tcss train     --data <stem> --model <file> [--epochs N] [--rank R] [--lambda L] [--seed S]
+                 [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume] [--lenient]
   tcss recommend --data <stem> --model <file> --user U --month M [--top N]
   tcss evaluate  --data <stem> --model <file> [--test-fraction F]
 
-<stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.";
+<stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.
+
+fault tolerance:
+  --checkpoint-dir <dir>  write a rolling checkpoint to <dir>/checkpoint.tcssck
+  --checkpoint-every N    checkpoint cadence in epochs (default 25)
+  --resume                continue from <dir>/checkpoint.tcssck (needs --checkpoint-dir)
+  --lenient               skip (and count) malformed check-in/edge CSV rows";
 
 /// Pull `--flag value` out of the argument list; `None` when absent.
 fn opt<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -72,14 +79,27 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn load(stem: &str) -> Result<Dataset, String> {
-    load_dataset(
-        Path::new(stem)
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("dataset"),
-        Path::new(stem),
-    )
-    .map_err(|e| format!("loading dataset {stem:?}: {e}"))
+    load_with_mode(stem, false)
+}
+
+fn load_with_mode(stem: &str, lenient: bool) -> Result<Dataset, String> {
+    let name = Path::new(stem)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("dataset");
+    if lenient {
+        let (data, report) = load_dataset_lenient(name, Path::new(stem))
+            .map_err(|e| format!("loading dataset {stem:?}: {e}"))?;
+        if report.skipped_checkins + report.skipped_edges > 0 {
+            eprintln!(
+                "warning: skipped {} malformed check-in row(s) and {} malformed edge row(s)",
+                report.skipped_checkins, report.skipped_edges
+            );
+        }
+        Ok(data)
+    } else {
+        load_dataset(name, Path::new(stem)).map_err(|e| format!("loading dataset {stem:?}: {e}"))
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -123,22 +143,49 @@ fn training_config(args: &[String]) -> Result<TcssConfig, String> {
     if let Some(v) = opt(args, "--seed") {
         cfg.seed = parse(v, "--seed")?;
     }
+    if let Some(v) = opt(args, "--checkpoint-dir") {
+        cfg.checkpoint_dir = Some(PathBuf::from(v));
+    }
+    if let Some(v) = opt(args, "--checkpoint-every") {
+        cfg.checkpoint_every = parse(v, "--checkpoint-every")?;
+    }
+    if has(args, "--resume") {
+        let dir = cfg
+            .checkpoint_dir
+            .as_ref()
+            .ok_or("--resume requires --checkpoint-dir")?;
+        cfg.resume_from = Some(dir.join(CHECKPOINT_FILE));
+    }
     Ok(cfg)
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let data = load(req(args, "--data")?)?;
+    let data = load_with_mode(req(args, "--data")?, has(args, "--lenient"))?;
     let model_path = PathBuf::from(req(args, "--model")?);
     let cfg = training_config(args)?;
     let epochs = cfg.epochs;
+    let lambda = cfg.lambda;
     println!("{}", data.summary(Granularity::Month));
     let trainer = TcssTrainer::new(&data, &data.checkins, Granularity::Month, cfg);
     let t0 = std::time::Instant::now();
-    let model = trainer.train(|epoch, loss| {
-        if epoch == 0 || (epoch + 1) % 50 == 0 || epoch + 1 == epochs {
-            println!("epoch {:>4}: loss {loss:.2}", epoch + 1);
-        }
-    });
+    let report = trainer
+        .train_with_checkpoints(|ctx| {
+            let loss = lambda * ctx.l1 + ctx.l2;
+            if ctx.epoch == 0 || (ctx.epoch + 1) % 50 == 0 || ctx.epoch + 1 == epochs {
+                println!("epoch {:>4}: loss {loss:.2}", ctx.epoch + 1);
+            }
+        })
+        .map_err(|e| format!("training failed: {e}"))?;
+    if report.start_epoch > 0 {
+        println!("resumed from checkpoint at epoch {}", report.start_epoch);
+    }
+    if report.rollbacks > 0 {
+        println!(
+            "divergence watchdog rolled back {} time(s); final learning-rate scale {}",
+            report.rollbacks, report.lr_scale
+        );
+    }
+    let model = report.model;
     println!(
         "trained {} parameters in {:.1}s",
         model.num_params(),
