@@ -1,0 +1,462 @@
+//! Training hot-path kernel benchmark: sparse chunk-local gradients and
+//! pooled workspaces (the "after" path) against the retained dense-chunk
+//! reference implementations (the "before" path), plus the cache-blocked
+//! matmul/gram kernels, at 1/2/4 worker threads.
+//!
+//! Emits `BENCH_train_kernels.json` into the current directory:
+//! Criterion-shim-shaped `benchmarks` entries (mean/min/max ns per op)
+//! plus two extra sections the shim cannot produce —
+//!
+//! * `allocations_per_epoch`: heap allocations during one steady-state
+//!   epoch-gradient evaluation (pools warmed), counted by a global
+//!   counting allocator **in this binary only**, at two tensor sizes.
+//!   The sparse path's count must not scale with the chunk count; the
+//!   dense path's does (one `Grads`-sized buffer per chunk).
+//! * `epoch_speedup`: before/after throughput ratio of a full training
+//!   epoch (L₂ gradients + Adam step) per thread count. The epoch fixture
+//!   disables the Hausdorff head (the λ = 0 ablation of Table II) because
+//!   the head's cost is dominated by per-user slice evaluation, which
+//!   this rewrite leaves untouched — the head is timed separately.
+//!
+//! `TCSS_BENCH_SMOKE=1` shrinks every fixture to CI-smoke sizes: the run
+//! finishes in seconds and only the JSON shape is meaningful.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tcss_core::loss::reference;
+use tcss_core::{
+    negative_sampling_loss_and_grad_ws, random_init, rewritten_loss_and_grad_ws, Grads,
+    HausdorffVariant, SocialHausdorffHead, TcssModel, TrainWorkspace,
+};
+use tcss_data::synth::{generate, SynthConfig};
+use tcss_data::{Dataset, Granularity, SynthPreset};
+use tcss_linalg::{set_num_threads, Matrix};
+
+// --- Counting allocator (bench binary only) ------------------------------
+
+/// Forwards to the system allocator, counting every allocation. The
+/// production crates never see this: `#[global_allocator]` only applies to
+/// this binary.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count over one invocation of `f`.
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+// --- Timing --------------------------------------------------------------
+
+struct BenchResult {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+}
+
+/// Warm up, calibrate a batch size so each sample runs ≥ `target_ns`, then
+/// take `samples` timed batches (same scheme as the criterion shim, which
+/// is a dev-dependency and so unavailable to a `src/bin` binary).
+fn run_bench(name: &str, samples: usize, target_ns: u64, mut f: impl FnMut()) -> BenchResult {
+    f(); // warmup
+    let t0 = Instant::now();
+    f();
+    let once = (t0.elapsed().as_nanos() as u64).max(1);
+    let iters = (target_ns / once).clamp(1, 100_000);
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_op.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean = per_op.iter().sum::<f64>() / per_op.len() as f64;
+    let min = per_op.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_op.iter().cloned().fold(0.0f64, f64::max);
+    println!("{name:<44} {:>12.0} ns/op  (n={samples}×{iters})", mean);
+    BenchResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        min_ns: min,
+        max_ns: max,
+        samples,
+    }
+}
+
+// --- Local Adam (mirror of the trainer's update, for the epoch bench) ----
+
+struct Adam {
+    m: Grads,
+    v: Grads,
+    t: u64,
+}
+
+impl Adam {
+    fn new(model: &TcssModel) -> Self {
+        Adam {
+            m: Grads::zeros(model),
+            v: Grads::zeros(model),
+            t: 0,
+        }
+    }
+
+    fn step(&mut self, model: &mut TcssModel, g: &Grads, lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        fn upd(
+            w: &mut [f64],
+            g: &[f64],
+            m: &mut [f64],
+            v: &mut [f64],
+            lr: f64,
+            bc1: f64,
+            bc2: f64,
+        ) {
+            for idx in 0..w.len() {
+                m[idx] = B1 * m[idx] + (1.0 - B1) * g[idx];
+                v[idx] = B2 * v[idx] + (1.0 - B2) * g[idx] * g[idx];
+                w[idx] -= lr * ((m[idx] / bc1) / ((v[idx] / bc2).sqrt() + EPS));
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        upd(
+            model.u1.as_mut_slice(),
+            g.u1.as_slice(),
+            self.m.u1.as_mut_slice(),
+            self.v.u1.as_mut_slice(),
+            lr,
+            bc1,
+            bc2,
+        );
+        upd(
+            model.u2.as_mut_slice(),
+            g.u2.as_slice(),
+            self.m.u2.as_mut_slice(),
+            self.v.u2.as_mut_slice(),
+            lr,
+            bc1,
+            bc2,
+        );
+        upd(
+            model.u3.as_mut_slice(),
+            g.u3.as_slice(),
+            self.m.u3.as_mut_slice(),
+            self.v.u3.as_mut_slice(),
+            lr,
+            bc1,
+            bc2,
+        );
+        upd(
+            &mut model.h,
+            &g.h,
+            &mut self.m.h,
+            &mut self.v.h,
+            lr,
+            bc1,
+            bc2,
+        );
+    }
+}
+
+// --- Fixtures ------------------------------------------------------------
+
+/// Large sparse fixture for the L₂/epoch benchmarks: enough check-ins that
+/// the entry loop spans ~100 chunks, so per-chunk buffer overhead (what
+/// this PR removes) is visible next to the arithmetic.
+fn epoch_fixture(smoke: bool) -> Dataset {
+    if smoke {
+        SynthPreset::Gmu5k.generate()
+    } else {
+        generate(&SynthConfig {
+            name: "bench-epoch-synth".into(),
+            seed: 2026,
+            n_users: 600,
+            n_pois: 3000,
+            n_clusters: 12,
+            n_communities: 8,
+            avg_checkins_per_user: 170,
+            ..SynthPreset::Gowalla.config()
+        })
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("TCSS_BENCH_SMOKE").is_ok();
+    let samples = if smoke { 2 } else { 7 };
+    let target_ns: u64 = if smoke { 500_000 } else { 20_000_000 };
+    let threads = [1usize, 2, 4];
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // --- matmul / gram ---------------------------------------------------
+    let (m, n, p) = if smoke { (32, 24, 16) } else { (384, 256, 192) };
+    let a = Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) % 97) as f64 * 0.013 - 0.5);
+    let b = Matrix::from_fn(n, p, |i, j| ((i * 13 + j * 29) % 89) as f64 * 0.011 - 0.4);
+    let (gr, gc) = if smoke { (48, 8) } else { (512, 96) };
+    let g = Matrix::from_fn(gr, gc, |i, j| ((i * 7 + j * 41) % 83) as f64 * 0.017 - 0.6);
+    for t in threads {
+        set_num_threads(Some(t));
+        results.push(run_bench(
+            &format!("matmul_{m}x{n}x{p}/t{t}"),
+            samples,
+            target_ns,
+            || {
+                black_box(a.matmul(&b).expect("shapes agree"));
+            },
+        ));
+        results.push(run_bench(
+            &format!("gram_{gr}x{gc}/t{t}"),
+            samples,
+            target_ns,
+            || {
+                black_box(g.gram());
+            },
+        ));
+    }
+
+    // --- L₂ heads: dense reference vs sparse+pooled ----------------------
+    let data = epoch_fixture(smoke);
+    let train = if smoke {
+        data.checkins.iter().take(1500).copied().collect()
+    } else {
+        data.checkins.clone()
+    };
+    let tensor = data.tensor_from(&train, Granularity::Month);
+    let entries = tensor.entries();
+    println!(
+        "epoch fixture: {} users × {} POIs, {} tensor entries",
+        data.n_users,
+        data.n_pois(),
+        entries.len()
+    );
+    let (u1, u2, u3) = random_init(tensor.dims(), 10, 7);
+    let model = TcssModel::new(u1, u2, u3);
+    let ws = TrainWorkspace::new();
+    let mut grads = Grads::zeros(&model);
+    for t in threads {
+        set_num_threads(Some(t));
+        results.push(run_bench(
+            &format!("l2_rewritten/dense_before/t{t}"),
+            samples,
+            target_ns,
+            || {
+                black_box(reference::rewritten_loss_and_grad_dense(
+                    &model, entries, 0.95, 0.05,
+                ));
+            },
+        ));
+        results.push(run_bench(
+            &format!("l2_rewritten/sparse_after/t{t}"),
+            samples,
+            target_ns,
+            || {
+                grads.set_zero();
+                black_box(rewritten_loss_and_grad_ws(
+                    &model, entries, 0.95, 0.05, &ws, &mut grads,
+                ));
+            },
+        ));
+        results.push(run_bench(
+            &format!("negative_sampling/dense_before/t{t}"),
+            samples,
+            target_ns,
+            || {
+                black_box(reference::negative_sampling_loss_and_grad_dense(
+                    &model, &tensor, 0.95, 0.05, 42,
+                ));
+            },
+        ));
+        results.push(run_bench(
+            &format!("negative_sampling/sparse_after/t{t}"),
+            samples,
+            target_ns,
+            || {
+                grads.set_zero();
+                black_box(negative_sampling_loss_and_grad_ws(
+                    &model, &tensor, 0.95, 0.05, 42, &ws, &mut grads,
+                ));
+            },
+        ));
+    }
+
+    // --- Social-Hausdorff head -------------------------------------------
+    // Timed on the Gowalla preset with a candidate cap: the head's cost is
+    // dominated by the per-user J×K slice evaluation (unchanged here), so
+    // its before/after delta is modest by design — see DESIGN.md.
+    let (hdata, htrain, cap) = if smoke {
+        (data, train, Some(8))
+    } else {
+        let d = SynthPreset::Gowalla.generate();
+        let t = d.checkins.clone();
+        (d, t, Some(32))
+    };
+    let htensor = hdata.tensor_from(&htrain, Granularity::Month);
+    let (hu1, hu2, hu3) = random_init(htensor.dims(), 10, 7);
+    let hmodel = TcssModel::new(hu1, hu2, hu3);
+    let head = SocialHausdorffHead::new(
+        &hdata,
+        &htrain,
+        HausdorffVariant::Social,
+        Default::default(),
+        cap,
+    );
+    let hws = TrainWorkspace::new();
+    let mut hgrads = Grads::zeros(&hmodel);
+    for t in threads {
+        set_num_threads(Some(t));
+        results.push(run_bench(
+            &format!("hausdorff_head/dense_before/t{t}"),
+            samples,
+            target_ns,
+            || {
+                hgrads.set_zero();
+                black_box(head.loss_and_grad_dense(&hmodel, &mut hgrads, 240.0));
+            },
+        ));
+        results.push(run_bench(
+            &format!("hausdorff_head/sparse_after/t{t}"),
+            samples,
+            target_ns,
+            || {
+                hgrads.set_zero();
+                black_box(head.loss_and_grad_ws(&hmodel, &mut hgrads, 240.0, &hws));
+            },
+        ));
+    }
+
+    // --- Full epoch: L₂ gradients + Adam step (λ = 0 ablation config) ----
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for t in threads {
+        set_num_threads(Some(t));
+        let mut model_b = model.clone();
+        let mut adam_b = Adam::new(&model_b);
+        let before = run_bench(
+            &format!("epoch_l2/dense_before/t{t}"),
+            samples,
+            target_ns,
+            || {
+                let (_, g) =
+                    reference::rewritten_loss_and_grad_dense(&model_b, entries, 0.95, 0.05);
+                adam_b.step(&mut model_b, &g, 0.05);
+            },
+        );
+        let mut model_a = model.clone();
+        let mut adam_a = Adam::new(&model_a);
+        let after = run_bench(
+            &format!("epoch_l2/sparse_after/t{t}"),
+            samples,
+            target_ns,
+            || {
+                grads.set_zero();
+                rewritten_loss_and_grad_ws(&model_a, entries, 0.95, 0.05, &ws, &mut grads);
+                adam_a.step(&mut model_a, &grads, 0.05);
+            },
+        );
+        speedups.push((t, before.mean_ns / after.mean_ns));
+        results.push(before);
+        results.push(after);
+    }
+
+    // --- Allocations per epoch (steady state, 4 threads) -----------------
+    // Both paths warmed above. Measured at two tensor sizes: the sparse
+    // path's count must stay flat while the dense path's roughly halves
+    // with the entry count (one Grads per chunk).
+    set_num_threads(Some(4));
+    let half = &entries[..entries.len() / 2];
+    // One warm call per shape so pool/result capacities reach steady state.
+    grads.set_zero();
+    rewritten_loss_and_grad_ws(&model, half, 0.95, 0.05, &ws, &mut grads);
+    let sparse_full = allocs_during(|| {
+        grads.set_zero();
+        black_box(rewritten_loss_and_grad_ws(
+            &model, entries, 0.95, 0.05, &ws, &mut grads,
+        ));
+    });
+    let sparse_half = allocs_during(|| {
+        grads.set_zero();
+        black_box(rewritten_loss_and_grad_ws(
+            &model, half, 0.95, 0.05, &ws, &mut grads,
+        ));
+    });
+    let dense_full = allocs_during(|| {
+        black_box(reference::rewritten_loss_and_grad_dense(
+            &model, entries, 0.95, 0.05,
+        ));
+    });
+    let dense_half = allocs_during(|| {
+        black_box(reference::rewritten_loss_and_grad_dense(
+            &model, half, 0.95, 0.05,
+        ));
+    });
+    set_num_threads(None);
+    println!(
+        "allocations/epoch  dense: {dense_full} (full) / {dense_half} (half)   \
+         sparse: {sparse_full} (full) / {sparse_half} (half)"
+    );
+    for (t, s) in &speedups {
+        println!("epoch speedup at {t} thread(s): {s:.2}×");
+    }
+
+    // --- JSON -------------------------------------------------------------
+    let mut json = String::from("{\n  \"group\": \"train_kernels\",\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}}}{sep}\n",
+            r.name, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"allocations_per_epoch\": {{\n    \"entries_full\": {},\n    \
+         \"entries_half\": {},\n    \"dense_before_full\": {dense_full},\n    \
+         \"dense_before_half\": {dense_half},\n    \
+         \"sparse_after_full\": {sparse_full},\n    \
+         \"sparse_after_half\": {sparse_half}\n  }},\n",
+        entries.len(),
+        half.len(),
+    ));
+    json.push_str("  \"epoch_speedup\": {");
+    for (i, (t, s)) in speedups.iter().enumerate() {
+        let sep = if i + 1 == speedups.len() { "" } else { ", " };
+        json.push_str(&format!("\"t{t}\": {s:.3}{sep}"));
+    }
+    json.push_str("}\n}\n");
+    std::fs::write("BENCH_train_kernels.json", json).expect("write BENCH_train_kernels.json");
+    println!("wrote BENCH_train_kernels.json");
+}

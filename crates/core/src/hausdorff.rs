@@ -19,8 +19,86 @@
 use crate::config::HausdorffVariant;
 use crate::loss::{backprop_entry, Grads};
 use crate::model::{clamp_prob, TcssModel};
+use crate::sparse_grads::{backprop_entry_sparse, GradScratch, SparseGrads};
+use crate::workspace::TrainWorkspace;
 use tcss_data::{CheckIn, Dataset};
 use tcss_geo::{entropy_weights, DistanceMatrix, WeightedHausdorffParams};
+
+/// Per-user scratch buffers for the Hausdorff head: clamped slice values,
+/// visit probabilities, `dL/dp`, generalized-mean terms, prefix/suffix
+/// products and the candidate set. Checked out of the trainer's
+/// [`TrainWorkspace`] pool once per worker per parallel region — before
+/// this existed, every user of every epoch allocated all seven vectors.
+///
+/// Buffers carry no information between users: each is either fully
+/// overwritten before it is read or explicitly reset per call.
+#[derive(Debug, Default)]
+pub struct UserScratch {
+    /// `h ⊙ U¹ᵢ` precomputation for the slice evaluation, `r`.
+    hw: Vec<f64>,
+    /// Raw (unclamped) slice scores `X̂_{ijk}`, `j_dim · k_dim`.
+    raw: Vec<f64>,
+    /// Clamped slice values `x_{jk}`, `j_dim · k_dim`.
+    x: Vec<f64>,
+    /// Visit probabilities `p_{ij}`, `j_dim`.
+    p: Vec<f64>,
+    /// `dL/dp`, `j_dim`, zeroed per user.
+    dp: Vec<f64>,
+    /// Generalized-mean terms `f_j`, `|S|`.
+    f: Vec<f64>,
+    /// Prefix products of `(1 − x)`, `k_dim + 1`.
+    prefix: Vec<f64>,
+    /// Suffix products of `(1 − x)`, `k_dim + 1`.
+    suffix: Vec<f64>,
+    /// Candidate set `S(vᵢ)`.
+    cand: Vec<usize>,
+}
+
+impl UserScratch {
+    /// Empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        UserScratch::default()
+    }
+}
+
+/// Where [`SocialHausdorffHead::user_loss_grad`] sends its gradient: the
+/// shared dense buffer (sequential / reference paths), a chunk-local sparse
+/// delta (production parallel path), or nowhere (forward-only evaluation).
+/// Both destinations run the identical per-entry arithmetic
+/// ([`backprop_entry`] / [`backprop_entry_sparse`]), which is what the
+/// bitwise dense↔sparse parity rests on.
+enum GradTarget<'a> {
+    /// Forward pass only.
+    None,
+    /// Accumulate `scale · ∂L₁/∂θ` into a dense buffer.
+    Dense(&'a mut Grads, f64),
+    /// Accumulate `scale · ∂L₁/∂θ` into a chunk's sparse delta.
+    Sparse(&'a mut SparseGrads, &'a mut GradScratch, f64),
+}
+
+impl GradTarget<'_> {
+    fn wants_grad(&self) -> bool {
+        !matches!(self, GradTarget::None)
+    }
+
+    fn scale(&self) -> f64 {
+        match self {
+            GradTarget::None => 0.0,
+            GradTarget::Dense(_, s) | GradTarget::Sparse(_, _, s) => *s,
+        }
+    }
+
+    #[inline]
+    fn backprop(&mut self, model: &TcssModel, i: usize, j: usize, k: usize, c: f64) {
+        match self {
+            GradTarget::None => {}
+            GradTarget::Dense(grads, _) => backprop_entry(model, grads, i, j, k, c),
+            GradTarget::Sparse(delta, scratch, _) => {
+                backprop_entry_sparse(model, delta, scratch, i, j, k, c)
+            }
+        }
+    }
+}
 
 /// Precomputed per-user social-spatial context plus the head parameters.
 pub struct SocialHausdorffHead {
@@ -121,24 +199,33 @@ impl SocialHausdorffHead {
     /// strictly positive visit probability — not the whole POI catalogue.
     /// This matters: including the `p ≈ 0` bulk dilutes the generalized
     /// mean (its `1/|S|` factor) until the head's gradient vanishes.
-    /// An optional cap keeps only the top-`p` candidates.
-    fn candidate_set(&self, p: &[f64]) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..p.len()).filter(|&j| p[j] > 0.0).collect();
+    /// An optional cap keeps only the top-`p` candidates, selected in
+    /// `O(n)` by [`slice::select_nth_unstable_by`]; ties on equal
+    /// probability break by ascending POI index, which reproduces the
+    /// previous stable sort-descending + truncate set (and the final
+    /// ascending sort reproduces its order) exactly.
+    fn candidate_set(&self, p: &[f64], idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.extend((0..p.len()).filter(|&j| p[j] > 0.0));
         if let Some(cap) = self.candidates {
             if idx.len() > cap {
-                idx.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).expect("probabilities finite"));
+                idx.select_nth_unstable_by(cap, |&a, &b| {
+                    p[b].partial_cmp(&p[a])
+                        .expect("probabilities finite")
+                        .then(a.cmp(&b))
+                });
                 idx.truncate(cap);
                 idx.sort_unstable();
             }
         }
-        idx
     }
 
     /// Forward value of `L₁` (sum over users of Eq 12).
     pub fn loss(&self, model: &TcssModel) -> f64 {
         let (n_users, _, _) = model.dims();
+        let mut us = UserScratch::new();
         (0..n_users)
-            .map(|i| self.user_loss_grad(model, i, None))
+            .map(|i| self.user_loss_grad(model, i, &mut us, GradTarget::None))
             .sum()
     }
 
@@ -150,22 +237,85 @@ impl SocialHausdorffHead {
     /// `L₁` and its gradient, scaled by `scale` (= λ), accumulated into
     /// `grads`. Returns the unscaled loss value.
     ///
-    /// The per-user terms of Eq 13 are independent, so they are computed in
-    /// parallel through [`tcss_linalg::parallel::map_chunks`]: users are cut
-    /// into fixed chunks, each chunk accumulates into a private
-    /// `Grads`-shaped buffer, and buffers are merged in chunk order. Under
-    /// the deterministic-reduction contract the result is bit-for-bit
-    /// identical for every thread count (the parity test pins this).
+    /// Convenience wrapper over [`Self::loss_and_grad_ws`] with a one-shot
+    /// workspace; the trainer holds a [`TrainWorkspace`] and calls the `_ws`
+    /// form so scratch buffers amortize across epochs.
     pub fn loss_and_grad(&self, model: &TcssModel, grads: &mut Grads, scale: f64) -> f64 {
+        self.loss_and_grad_ws(model, grads, scale, &TrainWorkspace::new())
+    }
+
+    /// [`Self::loss_and_grad`] over pooled workspaces.
+    ///
+    /// The per-user terms of Eq 13 are independent, so they are computed in
+    /// parallel through [`tcss_linalg::map_chunks_with`]: users are cut
+    /// into fixed chunks, each chunk accumulates a sparse delta of the rows
+    /// it touches ([`SparseGrads`]), and the deltas scatter into `grads` in
+    /// chunk order. Under the deterministic-reduction contract and the
+    /// sparse-delta merge contract ([`crate::sparse_grads`]) the result is
+    /// bit-for-bit identical to the dense reference at every thread count
+    /// (the parity suites pin this).
+    pub fn loss_and_grad_ws(
+        &self,
+        model: &TcssModel,
+        grads: &mut Grads,
+        scale: f64,
+        ws: &TrainWorkspace,
+    ) -> f64 {
         let (n_users, _, _) = model.dims();
-        let partials = tcss_linalg::map_chunks(n_users, Self::USERS_PER_CHUNK, |range| {
-            let mut local = Grads::zeros(model);
-            let mut total = 0.0;
-            for i in range {
-                total += self.user_loss_grad(model, i, Some((&mut local, scale)));
-            }
-            (total, local)
-        });
+        let partials = tcss_linalg::map_chunks_with(
+            n_users,
+            Self::USERS_PER_CHUNK,
+            || {
+                let mut scratch = ws.scratch.acquire(|| GradScratch::for_model(model));
+                scratch.ensure(model);
+                let users = ws.users.acquire(UserScratch::new);
+                (scratch, users)
+            },
+            |(scratch, users), range| {
+                let mut delta = ws.deltas.take(SparseGrads::new);
+                delta.begin(model);
+                let mut total = 0.0;
+                for i in range {
+                    total += self.user_loss_grad(
+                        model,
+                        i,
+                        users,
+                        GradTarget::Sparse(&mut delta, scratch, scale),
+                    );
+                }
+                delta.detach(scratch);
+                (total, delta)
+            },
+        );
+        let mut total = 0.0;
+        for (t, delta) in partials {
+            total += t;
+            delta.scatter_into(grads);
+            ws.deltas.put(delta);
+        }
+        total
+    }
+
+    /// Dense-chunk parallel implementation (pre-sparse, retained as the
+    /// bitwise parity baseline and the "before" side of `bench_kernels`):
+    /// each chunk folds into a full model-sized [`Grads`] buffer, merged in
+    /// chunk order.
+    pub fn loss_and_grad_dense(&self, model: &TcssModel, grads: &mut Grads, scale: f64) -> f64 {
+        let (n_users, _, _) = model.dims();
+        let partials = tcss_linalg::map_chunks_with(
+            n_users,
+            Self::USERS_PER_CHUNK,
+            UserScratch::new,
+            |us, range| {
+                let mut local = Grads::zeros(model);
+                let mut total = 0.0;
+                for i in range {
+                    total +=
+                        self.user_loss_grad(model, i, us, GradTarget::Dense(&mut local, scale));
+                }
+                (total, local)
+            },
+        );
         let mut total = 0.0;
         for (t, g) in &partials {
             total += t;
@@ -183,19 +333,24 @@ impl SocialHausdorffHead {
         scale: f64,
     ) -> f64 {
         let (n_users, _, _) = model.dims();
+        let mut us = UserScratch::new();
         let mut total = 0.0;
         for i in 0..n_users {
-            total += self.user_loss_grad(model, i, Some((grads, scale)));
+            total += self.user_loss_grad(model, i, &mut us, GradTarget::Dense(grads, scale));
         }
         total
     }
 
-    /// Loss (and optional gradient accumulation) for one user.
+    /// Loss (and optional gradient accumulation) for one user. All scratch
+    /// vectors come from `us`; every buffer is fully overwritten (or
+    /// explicitly reset) before it is read, so a pooled scratch cannot leak
+    /// state between users.
     fn user_loss_grad(
         &self,
         model: &TcssModel,
         user: usize,
-        mut grad_out: Option<(&mut Grads, f64)>,
+        us: &mut UserScratch,
+        mut target: GradTarget,
     ) -> f64 {
         let n_set = &self.friend_pois[user];
         if n_set.is_empty() {
@@ -208,20 +363,32 @@ impl SocialHausdorffHead {
         let floor = self.params.floor;
 
         // Raw slice and clamped probabilities.
-        let slice = model.user_slice(user);
-        let (j_dim, k_dim) = slice.shape();
-        let mut x = vec![0.0; j_dim * k_dim];
-        let mut p = vec![0.0; j_dim];
+        let (_, j_dim, k_dim) = model.dims();
+        let UserScratch {
+            hw,
+            raw,
+            x,
+            p,
+            dp,
+            f,
+            prefix,
+            suffix,
+            cand,
+        } = us;
+        model.user_slice_into(user, hw, raw);
+        x.resize(j_dim * k_dim, 0.0);
+        p.resize(j_dim, 0.0);
         for j in 0..j_dim {
             let mut not_visit = 1.0;
             for k in 0..k_dim {
-                let c = clamp_prob(slice.get(j, k));
+                let c = clamp_prob(raw[j * k_dim + k]);
                 x[j * k_dim + k] = c;
                 not_visit *= 1.0 - c;
             }
             p[j] = 1.0 - not_visit;
         }
-        let s_set = self.candidate_set(&p);
+        self.candidate_set(p, cand);
+        let s_set: &[usize] = cand;
         if s_set.is_empty() {
             // No POI has positive predicted probability (Eq 7's S(vᵢ) is
             // empty) — nothing to regularize for this user.
@@ -241,13 +408,13 @@ impl SocialHausdorffHead {
         let s_len = s_set.len() as f64;
         let mut term2 = 0.0;
         // dL/dp accumulated over both terms.
-        let mut dp = vec![0.0; j_dim];
-        for (pos, &j) in s_set.iter().enumerate() {
-            let _ = pos;
+        dp.clear();
+        dp.resize(j_dim, 0.0);
+        for &j in s_set {
             // Term-1 derivative: (e_j·minD_j − term1)/(A+ε).
             dp[j] += (self.e_weights[j] * min_d[j] - term1) / (a_norm + eps);
         }
-        let mut f = vec![0.0; s_set.len()];
+        f.resize(s_set.len(), 0.0);
         for &jp in n_set {
             let mut mean_pow = 0.0;
             for (idx, &j) in s_set.iter().enumerate() {
@@ -258,7 +425,7 @@ impl SocialHausdorffHead {
             mean_pow /= s_len;
             let m = mean_pow.powf(1.0 / alpha);
             term2 += self.e_weights[jp] * m;
-            if grad_out.is_some() {
+            if target.wants_grad() {
                 // dM/df_j = (1/|S|) · m̄^{(1−α)/α} · f_j^{α−1};
                 // df_j/dp_j = d(j,j') − d_max (zero where the floor clamps).
                 let m_bar_pow = mean_pow.powf((1.0 - alpha) / alpha);
@@ -275,23 +442,26 @@ impl SocialHausdorffHead {
         term2 /= n_len;
 
         // ---- Backprop dL/dp → dL/dX̂ → factors ----
-        if let Some((grads, scale)) = grad_out.take() {
-            for &j in &s_set {
+        if target.wants_grad() {
+            let scale = target.scale();
+            prefix.resize(k_dim + 1, 0.0);
+            suffix.resize(k_dim + 1, 0.0);
+            prefix[0] = 1.0;
+            suffix[k_dim] = 1.0;
+            for &j in s_set {
                 if dp[j] == 0.0 {
                     continue;
                 }
                 // dp/dx_k = Π_{k'≠k} (1 − x_{k'}) via prefix/suffix products.
                 let xs = &x[j * k_dim..(j + 1) * k_dim];
-                let mut prefix = vec![1.0; k_dim + 1];
                 for k in 0..k_dim {
                     prefix[k + 1] = prefix[k] * (1.0 - xs[k]);
                 }
-                let mut suffix = vec![1.0; k_dim + 1];
                 for k in (0..k_dim).rev() {
                     suffix[k] = suffix[k + 1] * (1.0 - xs[k]);
                 }
                 for k in 0..k_dim {
-                    let raw = slice.get(j, k);
+                    let raw = raw[j * k_dim + k];
                     let dp_dx = prefix[k] * suffix[k + 1];
                     let c = scale * dp[j] * dp_dx;
                     // Projected-gradient treatment of the clamp: block the
@@ -301,7 +471,7 @@ impl SocialHausdorffHead {
                     // head exists to lift. (Update direction is −c.)
                     let blocked = (raw <= 0.0 && c > 0.0) || (raw >= 1.0 - 1e-9 && c < 0.0);
                     if !blocked && c != 0.0 {
-                        backprop_entry(model, grads, user, j, k, c);
+                        target.backprop(model, user, j, k, c);
                     }
                 }
             }

@@ -48,18 +48,23 @@ pub mod init;
 pub mod loss;
 pub mod model;
 pub mod model_io;
+pub mod sparse_grads;
 pub mod train;
+pub mod workspace;
 
 pub use checkpoint::{
     config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint, CHECKPOINT_FILE,
 };
 pub use config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
 pub use fault::FaultPlan;
-pub use hausdorff::SocialHausdorffHead;
+pub use hausdorff::{SocialHausdorffHead, UserScratch};
 pub use init::{onehot_init, random_init, solve_h, spectral_init};
 pub use loss::{
-    naive_whole_data_loss, negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads,
+    naive_whole_data_loss, negative_sampling_loss_and_grad, negative_sampling_loss_and_grad_ws,
+    rewritten_loss_and_grad, rewritten_loss_and_grad_ws, Grads,
 };
 pub use model::TcssModel;
 pub use model_io::{load_model, save_model, ModelIoError};
+pub use sparse_grads::{GradScratch, SparseGrads};
 pub use train::{TcssTrainer, TrainContext, TrainError, TrainReport};
+pub use workspace::TrainWorkspace;

@@ -12,18 +12,29 @@
 //! * [`negative_sampling_loss_and_grad`] — the classic alternative TCSS
 //!   argues against; Table II/IV ablation.
 //!
+//! The production entry loops accumulate **sparse chunk-local deltas**
+//! ([`crate::sparse_grads::SparseGrads`]) through pooled workspaces
+//! ([`crate::workspace::TrainWorkspace`]): per-epoch memory traffic is
+//! `O(nnz · r)`, not `O(chunks · (I+J+K) · r)`, and steady-state epochs
+//! allocate nothing. The pre-sparse dense-chunk implementations are
+//! retained verbatim in [`reference`] as the bitwise parity baseline and
+//! the "before" side of the `bench_kernels` benchmark.
+//!
 //! All gradients are hand-derived and finite-difference checked in tests.
 
 use crate::model::TcssModel;
+use crate::sparse_grads::{backprop_entry_sparse, GradScratch, SparseGrads};
+use crate::workspace::TrainWorkspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tcss_linalg::Matrix;
 use tcss_sparse::{SparseTensor3, TensorEntry};
 
 /// Tensor entries per parallel chunk in the entry-loop losses. Small enough
-/// to load-balance the synthetic datasets, large enough that a per-chunk
-/// `Grads` allocation is noise next to the `O(chunk · r)` backprop work.
-const ENTRIES_PER_CHUNK: usize = 1024;
+/// to load-balance the synthetic datasets, large enough that the per-chunk
+/// sparse-delta bookkeeping is noise next to the `O(chunk · r)` backprop
+/// work.
+pub(crate) const ENTRIES_PER_CHUNK: usize = 1024;
 
 /// Gradient buffers matching a [`TcssModel`]'s parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +58,15 @@ impl Grads {
             u3: Matrix::zeros(model.u3.rows(), model.u3.cols()),
             h: vec![0.0; model.h.len()],
         }
+    }
+
+    /// Reset every buffer to exact `+0.0` in place (bitwise identical to a
+    /// fresh [`Grads::zeros`], without the allocation).
+    pub fn set_zero(&mut self) {
+        self.u1.as_mut_slice().fill(0.0);
+        self.u2.as_mut_slice().fill(0.0);
+        self.u3.as_mut_slice().fill(0.0);
+        self.h.fill(0.0);
     }
 
     /// `self += s · other`.
@@ -102,46 +122,13 @@ pub(crate) fn backprop_entry(
     }
 }
 
-/// The paper's rewritten whole-data loss (Eq 15) and its analytic gradient.
+/// ---- Whole-data term: w₋ Σ_{r₁r₂} h_{r₁} h_{r₂} G¹ G² G³ ----
 ///
-/// Returns `(loss, grads)`. Note the rewritten loss omits the constant
-/// `Σ_{Ω₊} w₊ X²` (it does not affect optimization); add
-/// `w_plus · positives.len()` to compare with [`naive_whole_data_loss`].
-pub fn rewritten_loss_and_grad(
-    model: &TcssModel,
-    positives: &[TensorEntry],
-    w_plus: f64,
-    w_minus: f64,
-) -> (f64, Grads) {
+/// Shared tail of the rewritten loss: accumulates the Gram-matrix term of
+/// Eq 15 into `loss` (in place, preserving the accumulation order the
+/// bitwise contracts depend on) and its gradient into `grads`.
+fn whole_data_term(model: &TcssModel, w_minus: f64, loss: &mut f64, grads: &mut Grads) {
     let r = model.h.len();
-
-    // ---- Positive-entry term: Σ (w₊−w₋) X̂² − 2 w₊ X X̂ ----
-    // Entries are cut into fixed chunks; each chunk accumulates into a
-    // private `Grads` buffer and the buffers merge in chunk order, so the
-    // result is bit-for-bit independent of the thread count.
-    let (mut loss, mut grads) = tcss_linalg::fold_chunks(
-        positives.len(),
-        ENTRIES_PER_CHUNK,
-        (0.0, Grads::zeros(model)),
-        |range| {
-            let mut local = Grads::zeros(model);
-            let mut loss = 0.0;
-            for e in &positives[range] {
-                let s = model.predict(e.i, e.j, e.k);
-                loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
-                let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
-                backprop_entry(model, &mut local, e.i, e.j, e.k, c);
-            }
-            (loss, local)
-        },
-        |(mut loss, mut grads), (l, g)| {
-            loss += l;
-            grads.add_scaled(1.0, &g);
-            (loss, grads)
-        },
-    );
-
-    // ---- Whole-data term: w₋ Σ_{r₁r₂} h_{r₁} h_{r₂} G¹ G² G³ ----
     let g1 = model.u1.gram();
     let g2 = model.u2.gram();
     let g3 = model.u3.gram();
@@ -150,7 +137,7 @@ pub fn rewritten_loss_and_grad(
         for r2 in 0..r {
             let w = w_minus * model.h[r1] * model.h[r2];
             let p123 = g1.get(r1, r2) * g2.get(r1, r2) * g3.get(r1, r2);
-            loss += w * p123;
+            *loss += w * p123;
             d.set(r1, r2, w * g2.get(r1, r2) * g3.get(r1, r2));
         }
     }
@@ -178,8 +165,78 @@ pub fn rewritten_loss_and_grad(
         }
         grads.h[r1] += 2.0 * w_minus * acc;
     }
+}
 
+/// The paper's rewritten whole-data loss (Eq 15) and its analytic gradient.
+///
+/// Convenience wrapper over [`rewritten_loss_and_grad_ws`] with a one-shot
+/// workspace; training loops hold a [`TrainWorkspace`] and call the `_ws`
+/// form so scratch buffers amortize across epochs.
+///
+/// Returns `(loss, grads)`. Note the rewritten loss omits the constant
+/// `Σ_{Ω₊} w₊ X²` (it does not affect optimization); add
+/// `w_plus · positives.len()` to compare with [`naive_whole_data_loss`].
+pub fn rewritten_loss_and_grad(
+    model: &TcssModel,
+    positives: &[TensorEntry],
+    w_plus: f64,
+    w_minus: f64,
+) -> (f64, Grads) {
+    let ws = TrainWorkspace::new();
+    let mut grads = Grads::zeros(model);
+    let loss = rewritten_loss_and_grad_ws(model, positives, w_plus, w_minus, &ws, &mut grads);
     (loss, grads)
+}
+
+/// [`rewritten_loss_and_grad`] over pooled workspaces, accumulating into
+/// the caller's gradient buffer (which the merge starts from — no
+/// model-sized fold-identity allocation).
+///
+/// The positive-entry term `Σ (w₊−w₋) X̂² − 2 w₊ X X̂` runs over fixed
+/// entry chunks; each chunk accumulates a sparse delta of only the rows it
+/// touches ([`SparseGrads`]) and the deltas scatter into `grads` in chunk
+/// order — bit-for-bit identical to the dense-chunk merge (see
+/// [`crate::sparse_grads`] for the contract) and independent of the thread
+/// count. Returns the loss; `grads` receives `∂L₂/∂θ` added on top of
+/// whatever it already holds.
+pub fn rewritten_loss_and_grad_ws(
+    model: &TcssModel,
+    positives: &[TensorEntry],
+    w_plus: f64,
+    w_minus: f64,
+    ws: &TrainWorkspace,
+    grads: &mut Grads,
+) -> f64 {
+    let partials = tcss_linalg::map_chunks_with(
+        positives.len(),
+        ENTRIES_PER_CHUNK,
+        || {
+            let mut scratch = ws.scratch.acquire(|| GradScratch::for_model(model));
+            scratch.ensure(model);
+            scratch
+        },
+        |scratch, range| {
+            let mut delta = ws.deltas.take(SparseGrads::new);
+            delta.begin(model);
+            let mut loss = 0.0;
+            for e in &positives[range] {
+                let s = model.predict(e.i, e.j, e.k);
+                loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
+                let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
+                backprop_entry_sparse(model, &mut delta, scratch, e.i, e.j, e.k, c);
+            }
+            delta.detach(scratch);
+            (loss, delta)
+        },
+    );
+    let mut loss = 0.0;
+    for (l, delta) in partials {
+        loss += l;
+        delta.scatter_into(grads);
+        ws.deltas.put(delta);
+    }
+    whole_data_term(model, w_minus, &mut loss, grads);
+    loss
 }
 
 /// Eq 14 evaluated literally: `Σ_{ijk} w_{ijk} (X_{ijk} − X̂_{ijk})²` over
@@ -220,27 +277,54 @@ pub fn negative_sampling_loss_and_grad(
     w_minus: f64,
     seed: u64,
 ) -> (f64, Grads) {
+    let ws = TrainWorkspace::new();
+    let mut grads = Grads::zeros(model);
+    let loss =
+        negative_sampling_loss_and_grad_ws(model, tensor, w_plus, w_minus, seed, &ws, &mut grads);
+    (loss, grads)
+}
+
+/// [`negative_sampling_loss_and_grad`] over pooled workspaces, accumulating
+/// into the caller's gradient buffer. Sparse chunk deltas, same merge
+/// contract as [`rewritten_loss_and_grad_ws`]; the per-chunk RNG seeding is
+/// unchanged, so the sampled negatives (and therefore the floats) match the
+/// dense reference bit-for-bit.
+pub fn negative_sampling_loss_and_grad_ws(
+    model: &TcssModel,
+    tensor: &SparseTensor3,
+    w_plus: f64,
+    w_minus: f64,
+    seed: u64,
+    ws: &TrainWorkspace,
+    grads: &mut Grads,
+) -> f64 {
     let (i_dim, j_dim, k_dim) = tensor.dims();
     let entries = tensor.entries();
-    tcss_linalg::fold_chunks(
+    let partials = tcss_linalg::map_chunks_with(
         entries.len(),
         ENTRIES_PER_CHUNK,
-        (0.0, Grads::zeros(model)),
-        |range| {
+        || {
+            let mut scratch = ws.scratch.acquire(|| GradScratch::for_model(model));
+            scratch.ensure(model);
+            scratch
+        },
+        |scratch, range| {
             // SplitMix64-style mix of (seed, chunk) into an independent
             // per-chunk stream.
             let chunk = (range.start / ENTRIES_PER_CHUNK) as u64;
             let mut rng = StdRng::seed_from_u64(
                 seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
             );
-            let mut local = Grads::zeros(model);
+            let mut delta = ws.deltas.take(SparseGrads::new);
+            delta.begin(model);
             let mut loss = 0.0;
             for e in &entries[range] {
                 let s = model.predict(e.i, e.j, e.k);
                 loss += w_plus * (e.value - s) * (e.value - s);
-                backprop_entry(
+                backprop_entry_sparse(
                     model,
-                    &mut local,
+                    &mut delta,
+                    scratch,
                     e.i,
                     e.j,
                     e.k,
@@ -257,20 +341,137 @@ pub fn negative_sampling_loss_and_grad(
                     if !tensor.contains(ni, nj, nk) || attempts > 32 {
                         let sn = model.predict(ni, nj, nk);
                         loss += w_minus * sn * sn;
-                        backprop_entry(model, &mut local, ni, nj, nk, 2.0 * w_minus * sn);
+                        backprop_entry_sparse(
+                            model,
+                            &mut delta,
+                            scratch,
+                            ni,
+                            nj,
+                            nk,
+                            2.0 * w_minus * sn,
+                        );
                         break;
                     }
                     attempts += 1;
                 }
             }
-            (loss, local)
+            delta.detach(scratch);
+            (loss, delta)
         },
-        |(mut loss, mut grads), (l, g)| {
-            loss += l;
-            grads.add_scaled(1.0, &g);
-            (loss, grads)
-        },
-    )
+    );
+    let mut loss = 0.0;
+    for (l, delta) in partials {
+        loss += l;
+        delta.scatter_into(grads);
+        ws.deltas.put(delta);
+    }
+    loss
+}
+
+/// Pre-sparse dense-chunk implementations, retained verbatim.
+///
+/// These are the PR-1 versions of the entry-loop losses: every parallel
+/// chunk folds into a full model-sized [`Grads`] buffer. They exist as
+///
+/// * the **bitwise parity baseline** — `tests/sparse_parity.rs` asserts the
+///   sparse production path reproduces these floats exactly, and
+/// * the **"before" side** of the `bench_kernels` before/after comparison.
+///
+/// Do not use them in training loops; they allocate `O(chunks)` model
+/// copies per evaluation.
+pub mod reference {
+    use super::*;
+
+    /// Dense-chunk [`rewritten_loss_and_grad`] (pre-sparse implementation).
+    pub fn rewritten_loss_and_grad_dense(
+        model: &TcssModel,
+        positives: &[TensorEntry],
+        w_plus: f64,
+        w_minus: f64,
+    ) -> (f64, Grads) {
+        let (mut loss, mut grads) = tcss_linalg::fold_chunks(
+            positives.len(),
+            ENTRIES_PER_CHUNK,
+            (0.0, Grads::zeros(model)),
+            |range| {
+                let mut local = Grads::zeros(model);
+                let mut loss = 0.0;
+                for e in &positives[range] {
+                    let s = model.predict(e.i, e.j, e.k);
+                    loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
+                    let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
+                    backprop_entry(model, &mut local, e.i, e.j, e.k, c);
+                }
+                (loss, local)
+            },
+            |(mut loss, mut grads), (l, g)| {
+                loss += l;
+                grads.add_scaled(1.0, &g);
+                (loss, grads)
+            },
+        );
+        whole_data_term(model, w_minus, &mut loss, &mut grads);
+        (loss, grads)
+    }
+
+    /// Dense-chunk [`negative_sampling_loss_and_grad`] (pre-sparse
+    /// implementation).
+    pub fn negative_sampling_loss_and_grad_dense(
+        model: &TcssModel,
+        tensor: &SparseTensor3,
+        w_plus: f64,
+        w_minus: f64,
+        seed: u64,
+    ) -> (f64, Grads) {
+        let (i_dim, j_dim, k_dim) = tensor.dims();
+        let entries = tensor.entries();
+        tcss_linalg::fold_chunks(
+            entries.len(),
+            ENTRIES_PER_CHUNK,
+            (0.0, Grads::zeros(model)),
+            |range| {
+                let chunk = (range.start / ENTRIES_PER_CHUNK) as u64;
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+                );
+                let mut local = Grads::zeros(model);
+                let mut loss = 0.0;
+                for e in &entries[range] {
+                    let s = model.predict(e.i, e.j, e.k);
+                    loss += w_plus * (e.value - s) * (e.value - s);
+                    backprop_entry(
+                        model,
+                        &mut local,
+                        e.i,
+                        e.j,
+                        e.k,
+                        2.0 * w_plus * (s - e.value),
+                    );
+                    let mut attempts = 0;
+                    loop {
+                        let (ni, nj, nk) = (
+                            rng.gen_range(0..i_dim),
+                            rng.gen_range(0..j_dim),
+                            rng.gen_range(0..k_dim),
+                        );
+                        if !tensor.contains(ni, nj, nk) || attempts > 32 {
+                            let sn = model.predict(ni, nj, nk);
+                            loss += w_minus * sn * sn;
+                            backprop_entry(model, &mut local, ni, nj, nk, 2.0 * w_minus * sn);
+                            break;
+                        }
+                        attempts += 1;
+                    }
+                }
+                (loss, local)
+            },
+            |(mut loss, mut grads), (l, g)| {
+                loss += l;
+                grads.add_scaled(1.0, &g);
+                (loss, grads)
+            },
+        )
+    }
 }
 
 #[cfg(test)]

@@ -96,18 +96,38 @@ impl TcssModel {
     /// Hausdorff head to form `p_{ij}` over all time units).
     pub fn user_slice(&self, user: usize) -> Matrix {
         let (_, j_dim, k_dim) = self.dims();
+        let mut hw = Vec::new();
+        let mut out = Vec::new();
+        self.user_slice_into(user, &mut hw, &mut out);
+        let mut m = Matrix::zeros(j_dim, k_dim);
+        m.as_mut_slice().copy_from_slice(&out);
+        m
+    }
+
+    /// Allocation-free form of [`TcssModel::user_slice`]: writes the raw
+    /// `J × K` scores row-major into `out`, using `hw` as scratch for the
+    /// `h ⊙ U¹ᵢ` precomputation. Both buffers are cleared and refilled, so
+    /// pooled scratch can be passed straight in; the arithmetic (and hence
+    /// every output bit) is identical to `user_slice`.
+    pub fn user_slice_into(&self, user: usize, hw: &mut Vec<f64>, out: &mut Vec<f64>) {
+        let (_, j_dim, k_dim) = self.dims();
         let r = self.h.len();
         let ui = self.u1.row(user);
-        let hw: Vec<f64> = (0..r).map(|t| self.h[t] * ui[t]).collect();
-        Matrix::from_fn(j_dim, k_dim, |j, k| {
+        hw.clear();
+        hw.extend((0..r).map(|t| self.h[t] * ui[t]));
+        out.clear();
+        out.reserve(j_dim * k_dim);
+        for j in 0..j_dim {
             let uj = self.u2.row(j);
-            let uk = self.u3.row(k);
-            let mut acc = 0.0;
-            for t in 0..r {
-                acc += hw[t] * uj[t] * uk[t];
+            for k in 0..k_dim {
+                let uk = self.u3.row(k);
+                let mut acc = 0.0;
+                for t in 0..r {
+                    acc += hw[t] * uj[t] * uk[t];
+                }
+                out.push(acc);
             }
-            acc
-        })
+        }
     }
 
     /// Per-POI visit probability `p_{ij} = 1 − Π_k (1 − clamp(X̂_{ijk}))`

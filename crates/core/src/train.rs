@@ -17,9 +17,10 @@ use crate::config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
 use crate::fault::{poison, FaultPlan};
 use crate::hausdorff::SocialHausdorffHead;
 use crate::init::{onehot_init, random_init, spectral_init};
-use crate::loss::{negative_sampling_loss_and_grad, rewritten_loss_and_grad, Grads};
+use crate::loss::{negative_sampling_loss_and_grad_ws, rewritten_loss_and_grad_ws, Grads};
 use crate::model::TcssModel;
 use crate::model_io::ModelIoError;
+use crate::workspace::TrainWorkspace;
 use tcss_data::{CheckIn, Dataset, Granularity};
 use tcss_geo::WeightedHausdorffParams;
 use tcss_sparse::SparseTensor3;
@@ -280,31 +281,49 @@ impl TcssTrainer {
 
     /// One epoch's losses and joint gradient — the kernel shared by every
     /// training loop, so the plain and checkpointed paths cannot drift
-    /// apart numerically.
-    fn epoch_grads(&self, model: &TcssModel, epoch: usize) -> (f64, f64, Grads) {
+    /// apart numerically. Zeroes and refills the caller's `grads` buffer;
+    /// all scratch comes from `ws`, so steady-state epochs allocate
+    /// nothing.
+    fn epoch_grads(
+        &self,
+        model: &TcssModel,
+        epoch: usize,
+        ws: &TrainWorkspace,
+        grads: &mut Grads,
+    ) -> (f64, f64) {
         let cfg = &self.config;
-        let (l2, mut grads) = match cfg.loss {
+        grads.set_zero();
+        let l2 = match cfg.loss {
             LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
                 // The naive strategy optimizes the same objective; the
                 // rewritten gradient is exact for it (Remark 1), so the
                 // timing experiment measures only the *loss evaluation*.
-                rewritten_loss_and_grad(model, self.tensor.entries(), cfg.w_plus, cfg.w_minus)
+                rewritten_loss_and_grad_ws(
+                    model,
+                    self.tensor.entries(),
+                    cfg.w_plus,
+                    cfg.w_minus,
+                    ws,
+                    grads,
+                )
             }
-            LossStrategy::NegativeSampling => negative_sampling_loss_and_grad(
+            LossStrategy::NegativeSampling => negative_sampling_loss_and_grad_ws(
                 model,
                 &self.tensor,
                 cfg.w_plus,
                 cfg.w_minus,
                 cfg.seed.wrapping_add(epoch as u64),
+                ws,
+                grads,
             ),
         };
         let mut l1 = 0.0;
         if let Some(head) = &self.head {
             if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
-                l1 = head.loss_and_grad(model, &mut grads, cfg.lambda);
+                l1 = head.loss_and_grad_ws(model, grads, cfg.lambda, ws);
             }
         }
-        (l2, l1, grads)
+        (l2, l1)
     }
 
     /// Train an externally-initialized model in place (used by the Fig 9
@@ -317,8 +336,10 @@ impl TcssTrainer {
             tcss_linalg::set_num_threads(cfg.num_threads);
         }
         let mut adam = AdamState::new(model);
+        let ws = TrainWorkspace::new();
+        let mut grads = Grads::zeros(model);
         for epoch in 0..cfg.epochs {
-            let (l2, l1, grads) = self.epoch_grads(model, epoch);
+            let (l2, l1) = self.epoch_grads(model, epoch, &ws, &mut grads);
             adam.step(model, &grads, cfg.learning_rate, cfg.weight_decay);
             on_epoch(TrainContext { epoch, l2, l1 });
         }
@@ -416,12 +437,14 @@ impl TcssTrainer {
                 .map_err(|e| TrainError::Checkpoint(ModelIoError::Fs(e)))?;
         }
 
+        let ws = TrainWorkspace::new();
+        let mut grads = Grads::zeros(&model);
         let mut epoch = start_epoch;
         while epoch < cfg.epochs {
             if faults.take_crash(epoch) {
                 return Err(TrainError::InjectedCrash { epoch });
             }
-            let (l2, l1, mut grads) = self.epoch_grads(&model, epoch);
+            let (l2, l1) = self.epoch_grads(&model, epoch, &ws, &mut grads);
             if faults.take_poison(epoch) {
                 poison(&mut grads);
             }

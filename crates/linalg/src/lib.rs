@@ -42,7 +42,10 @@ pub mod vector;
 
 pub use eigen::{jacobi_eigen, top_r_eigenvectors, DenseSymOp, SymOp};
 pub use matrix::Matrix;
-pub use parallel::{fold_chunks, map_chunks, num_threads, set_num_threads};
+pub use parallel::{
+    fold_chunks, map_chunks, map_chunks_with, num_threads, set_num_threads, PoolGuard,
+    WorkspacePool,
+};
 pub use qr::{orthonormalize, qr_thin};
 pub use solve::solve_linear_system;
 pub use stats::{cosine_similarity, cosine_similarity_matrix};

@@ -188,13 +188,25 @@ impl Matrix {
     /// Rows of `self` per parallel chunk in [`Self::matmul`] / [`Self::gram`].
     const ROWS_PER_CHUNK: usize = 64;
 
-    /// Matrix product `self * other`.
+    /// Column tile width of the output in [`Self::matmul`] (`j` blocking).
+    /// 64×64 f64 tiles of the right operand are 32 KiB — one L1 load per
+    /// `(k, j)` tile pass instead of one per output row.
+    const J_BLOCK: usize = 64;
+
+    /// Inner-dimension tile depth in [`Self::matmul`] (`k` blocking).
+    const K_BLOCK: usize = 64;
+
+    /// Matrix product `self * other`, cache-blocked.
     ///
-    /// Uses the classic i-k-j loop order so the inner loop streams over
-    /// contiguous rows of both operands (cache-friendly for row-major data).
-    /// Output rows are computed in parallel over fixed row chunks; each row
-    /// depends only on its own accumulation, so the result is bit-for-bit
-    /// identical to the serial product for any thread count.
+    /// The row-chunk parallel split of PR 1 stays on top: output rows are
+    /// cut into fixed chunks and computed independently. Within a chunk the
+    /// kernel is tiled `(j, k, i, k')` — the `K_BLOCK × J_BLOCK` tile of
+    /// `other` stays L1-resident while every row of the chunk streams over
+    /// it, instead of being re-fetched once per row as in the untiled i-k-j
+    /// order. Each output element still accumulates its `k` products in
+    /// strictly ascending order (tiles are visited in ascending `k`, and
+    /// ascending `k` within a tile), so the result is **bit-for-bit**
+    /// identical to the untiled kernel and independent of the thread count.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -206,20 +218,31 @@ impl Matrix {
             });
         }
         let n = other.cols;
+        let m = self.cols;
         let chunks = crate::parallel::map_chunks(self.rows, Self::ROWS_PER_CHUNK, |range| {
             let mut block = vec![0.0; range.len() * n];
-            for (bi, i) in range.enumerate() {
-                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                let out_row = &mut block[bi * n..(bi + 1) * n];
-                for (k, &a_ik) in a_row.iter().enumerate() {
-                    if a_ik == 0.0 {
-                        continue;
+            let mut jb = 0;
+            while jb < n {
+                let j_hi = (jb + Self::J_BLOCK).min(n);
+                let mut kb = 0;
+                while kb < m {
+                    let k_hi = (kb + Self::K_BLOCK).min(m);
+                    for (bi, i) in range.clone().enumerate() {
+                        let a_row = &self.data[i * m + kb..i * m + k_hi];
+                        let out_row = &mut block[bi * n + jb..bi * n + j_hi];
+                        for (k, &a_ik) in (kb..k_hi).zip(a_row.iter()) {
+                            if a_ik == 0.0 {
+                                continue;
+                            }
+                            let b_row = &other.data[k * n + jb..k * n + j_hi];
+                            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                                *o += a_ik * b;
+                            }
+                        }
                     }
-                    let b_row = &other.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += a_ik * b;
-                    }
+                    kb = k_hi;
                 }
+                jb = j_hi;
             }
             block
         });
@@ -230,12 +253,21 @@ impl Matrix {
         Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
     }
 
+    /// Column tile width in [`Self::gram`] (`a`/`b` blocking). Irrelevant at
+    /// the training ranks (`r ≤ 10`, a single tile) but keeps the kernel
+    /// cache-resident for the wide matrices the eigen/SVD paths produce.
+    const GRAM_BLOCK: usize = 64;
+
     /// Gram matrix `selfᵀ * self` (`cols × cols`), exploiting symmetry.
     ///
     /// This is the kernel behind the rewritten loss of the paper (Eq 15):
     /// `U¹ᵀU¹`, `U²ᵀU²`, `U³ᵀU³` are all `r × r` Gram matrices. The row sum
     /// is a deterministic chunked reduction: per-chunk partial Grams merged
     /// in chunk order, so the floats never depend on the thread count.
+    /// Within a chunk the upper triangle is computed per `(a, b)` column
+    /// tile with the row loop innermost-but-one, so each output element
+    /// accumulates its per-row products in ascending row order exactly as
+    /// the untiled kernel did — tiling is bitwise-invisible.
     pub fn gram(&self) -> Matrix {
         let r = self.cols;
         let mut g = crate::parallel::fold_chunks(
@@ -244,17 +276,27 @@ impl Matrix {
             Matrix::zeros(r, r),
             |range| {
                 let mut part = Matrix::zeros(r, r);
-                for i in range {
-                    let row = self.row(i);
-                    for a in 0..r {
-                        let ra = row[a];
-                        if ra == 0.0 {
-                            continue;
+                let mut ab = 0;
+                while ab < r {
+                    let a_hi = (ab + Self::GRAM_BLOCK).min(r);
+                    let mut bb = ab;
+                    while bb < r {
+                        let b_hi = (bb + Self::GRAM_BLOCK).min(r);
+                        for i in range.clone() {
+                            let row = self.row(i);
+                            for a in ab..a_hi {
+                                let ra = row[a];
+                                if ra == 0.0 {
+                                    continue;
+                                }
+                                for b in a.max(bb)..b_hi {
+                                    part.data[a * r + b] += ra * row[b];
+                                }
+                            }
                         }
-                        for b in a..r {
-                            part.data[a * r + b] += ra * row[b];
-                        }
+                        bb = b_hi;
                     }
+                    ab = a_hi;
                 }
                 part
             },
@@ -532,6 +574,39 @@ mod tests {
         let b = Matrix::filled(2, 2, 2.0);
         a.axpy_mut(0.5, &b).unwrap();
         assert!(a.approx_eq(&Matrix::filled(2, 2, 2.0), 1e-12));
+    }
+
+    /// The tiled matmul/gram kernels must agree with a naive triple loop on
+    /// shapes that straddle the 64-wide tile boundaries (including the
+    /// ragged final tiles) — and bit-for-bit with ascending-k accumulation.
+    #[test]
+    fn blocked_kernels_match_naive_across_tile_boundaries() {
+        for (m, k, n) in [(3usize, 5usize, 4usize), (70, 65, 130), (64, 128, 64)] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 29) % 11) as f64 - 5.0);
+            let c = a.matmul(&b).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    // Ascending-k accumulation, skipping exact zeros — the
+                    // summation order the kernel promises to preserve.
+                    let mut want = 0.0;
+                    for t in 0..k {
+                        let a_ik = a.get(i, t);
+                        if a_ik != 0.0 {
+                            want += a_ik * b.get(t, j);
+                        }
+                    }
+                    assert_eq!(
+                        c.get(i, j).to_bits(),
+                        want.to_bits(),
+                        "({m}x{k}x{n}) element ({i},{j})"
+                    );
+                }
+            }
+            let g = a.gram();
+            let explicit = a.transpose().matmul(&a).unwrap();
+            assert!(g.approx_eq(&explicit, 1e-9), "gram mismatch at {m}x{k}");
+        }
     }
 
     #[test]

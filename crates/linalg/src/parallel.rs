@@ -33,8 +33,9 @@
 //! `std::thread::available_parallelism()`. A resolved count of 1 bypasses
 //! thread spawning entirely.
 
-use std::ops::Range;
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Process-wide thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -93,11 +94,39 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    map_chunks_with(n_items, chunk_size, || (), |(), range| f(range))
+}
+
+/// [`map_chunks`] with a **worker-local workspace**: each worker calls
+/// `make_ws` exactly once, then reuses the workspace across every chunk it
+/// claims (the serial path builds one workspace and runs inline).
+///
+/// This is the allocation-taming primitive behind the sparse-gradient
+/// training path: scratch buffers that would otherwise be allocated per
+/// chunk (`O(chunks)` per call) are allocated `O(workers)` times — and when
+/// `make_ws` checks buffers out of a [`WorkspacePool`], `O(1)` times per
+/// run. The workspace never affects results under the deterministic-
+/// reduction contract: `f` must compute the same value for a chunk
+/// regardless of the workspace's history (buffers are state, not input).
+pub fn map_chunks_with<W, T, MkW, F>(
+    n_items: usize,
+    chunk_size: usize,
+    make_ws: MkW,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    MkW: Fn() -> W + Sync,
+    F: Fn(&mut W, Range<usize>) -> T + Sync,
+{
     let chunk_size = chunk_size.max(1);
     let n_chunks = n_items.div_ceil(chunk_size);
     let workers = num_threads().min(n_chunks);
     if workers <= 1 {
-        return chunk_ranges(n_items, chunk_size).map(f).collect();
+        let mut ws = make_ws();
+        return chunk_ranges(n_items, chunk_size)
+            .map(|r| f(&mut ws, r))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
@@ -106,7 +135,9 @@ where
             .map(|_| {
                 let next = &next;
                 let f = &f;
+                let make_ws = &make_ws;
                 s.spawn(move || {
+                    let mut ws = make_ws();
                     let mut produced: Vec<(usize, T)> = Vec::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
@@ -115,7 +146,7 @@ where
                         }
                         let lo = c * chunk_size;
                         let hi = (lo + chunk_size).min(n_items);
-                        produced.push((c, f(lo..hi)));
+                        produced.push((c, f(&mut ws, lo..hi)));
                     }
                     produced
                 })
@@ -132,6 +163,102 @@ where
         .into_iter()
         .map(|v| v.expect("every chunk claimed exactly once"))
         .collect()
+}
+
+/// A free-list of reusable scratch buffers shared across parallel regions.
+///
+/// `acquire` pops an idle buffer (or builds one with the supplied factory)
+/// and returns a guard that checks it back in on drop; `take`/`put` move
+/// buffers by value for workspaces that travel with chunk results. The pool
+/// never shrinks: over a training run, buffer churn settles to zero
+/// steady-state allocations — the heart of the "allocated once per run, not
+/// once per chunk per epoch" contract in `tcss-core`'s `TrainWorkspace`.
+///
+/// Buffers come back in arbitrary (scheduling-dependent) order, so a pooled
+/// buffer's *contents* must never feed into results — callers reset what
+/// they read. The deterministic-reduction contract is unaffected: pooling
+/// changes where scratch memory lives, not what any chunk computes.
+#[derive(Debug)]
+pub struct WorkspacePool<T> {
+    slots: Mutex<Vec<T>>,
+}
+
+// Manual impl: an empty pool needs no `T: Default`.
+impl<T> Default for WorkspacePool<T> {
+    fn default() -> Self {
+        WorkspacePool::new()
+    }
+}
+
+impl<T> WorkspacePool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkspacePool {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        // A worker panic mid-checkout only loses that buffer; the pool
+        // itself stays usable.
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Check a buffer out, building a fresh one with `make` when the pool
+    /// is empty. The guard returns it on drop.
+    pub fn acquire(&self, make: impl FnOnce() -> T) -> PoolGuard<'_, T> {
+        let value = self.take(make);
+        PoolGuard {
+            pool: self,
+            value: Some(value),
+        }
+    }
+
+    /// Check a buffer out *by value* (caller must [`WorkspacePool::put`] it
+    /// back to keep the pool warm).
+    pub fn take(&self, make: impl FnOnce() -> T) -> T {
+        let recycled = self.lock().pop();
+        recycled.unwrap_or_else(make)
+    }
+
+    /// Return a buffer to the pool.
+    pub fn put(&self, value: T) {
+        self.lock().push(value);
+    }
+
+    /// Number of idle buffers currently pooled (diagnostics/tests).
+    pub fn idle(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// RAII checkout from a [`WorkspacePool`]; derefs to the buffer and checks
+/// it back in on drop.
+#[derive(Debug)]
+pub struct PoolGuard<'a, T> {
+    pool: &'a WorkspacePool<T>,
+    value: Option<T>,
+}
+
+impl<T> Deref for PoolGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("present until drop")
+    }
+}
+
+impl<T> DerefMut for PoolGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("present until drop")
+    }
+}
+
+impl<T> Drop for PoolGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(v) = self.value.take() {
+            self.pool.put(v);
+        }
+    }
 }
 
 /// Parallel map-reduce over the fixed chunk grid: per-chunk values from
@@ -219,5 +346,51 @@ mod tests {
     fn empty_input_yields_empty_map() {
         assert!(map_chunks(0, 8, |r| r.len()).is_empty());
         assert_eq!(fold_chunks(0, 8, 42usize, |r| r.len(), |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn map_chunks_with_builds_one_workspace_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        for threads in [1usize, 3] {
+            set_num_threads(Some(threads));
+            let built = AtomicUsize::new(0);
+            // 40 chunks, far more than workers: the workspace count must
+            // track workers, never chunks.
+            let got = map_chunks_with(
+                40,
+                1,
+                || {
+                    built.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |ws, r| {
+                    *ws += 1; // workspace reuse is visible worker-locally
+                    r.start
+                },
+            );
+            assert_eq!(got, (0..40).collect::<Vec<_>>(), "threads = {threads}");
+            assert!(
+                built.load(Ordering::Relaxed) <= threads,
+                "built {} workspaces with {threads} workers",
+                built.load(Ordering::Relaxed)
+            );
+        }
+        set_num_threads(None);
+    }
+
+    #[test]
+    fn workspace_pool_recycles_buffers() {
+        let pool: WorkspacePool<Vec<f64>> = WorkspacePool::new();
+        {
+            let mut g = pool.acquire(|| Vec::with_capacity(64));
+            g.push(1.0);
+            assert_eq!(pool.idle(), 0);
+        }
+        assert_eq!(pool.idle(), 1);
+        // The recycled buffer keeps its capacity (that's the whole point).
+        let v = pool.take(Vec::new);
+        assert!(v.capacity() >= 64);
+        pool.put(v);
+        assert_eq!(pool.idle(), 1);
     }
 }
