@@ -569,7 +569,7 @@ mod tests {
             },
             TcssConfig {
                 hausdorff_every: 1,
-                ..base.clone()
+                ..base
             },
         ];
         for v in variants {

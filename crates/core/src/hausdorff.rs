@@ -18,24 +18,27 @@
 
 use crate::config::HausdorffVariant;
 use crate::loss::{backprop_entry, Grads};
-use crate::model::{clamp_prob, TcssModel};
+use crate::model::{clamp_prob, SliceScratch, TcssModel};
 use crate::sparse_grads::{backprop_entry_sparse, GradScratch, SparseGrads};
 use crate::workspace::TrainWorkspace;
 use tcss_data::{CheckIn, Dataset};
 use tcss_geo::{entropy_weights, DistanceMatrix, WeightedHausdorffParams};
+use tcss_linalg::kernels;
 
 /// Per-user scratch buffers for the Hausdorff head: clamped slice values,
 /// visit probabilities, `dL/dp`, generalized-mean terms, prefix/suffix
-/// products and the candidate set. Checked out of the trainer's
-/// [`TrainWorkspace`] pool once per worker per parallel region — before
-/// this existed, every user of every epoch allocated all seven vectors.
+/// products, the candidate set, and the candidate-indexed gather buffers
+/// that let the per-`j'` distance scans run over contiguous memory.
+/// Checked out of the trainer's [`TrainWorkspace`] pool once per worker
+/// per parallel region — before this existed, every user of every epoch
+/// allocated all of these vectors.
 ///
 /// Buffers carry no information between users: each is either fully
 /// overwritten before it is read or explicitly reset per call.
 #[derive(Debug, Default)]
 pub struct UserScratch {
-    /// `h ⊙ U¹ᵢ` precomputation for the slice evaluation, `r`.
-    hw: Vec<f64>,
+    /// Scratch for [`TcssModel::user_slice_into`] (the `J·K·r` hot loop).
+    slice: SliceScratch,
     /// Raw (unclamped) slice scores `X̂_{ijk}`, `j_dim · k_dim`.
     raw: Vec<f64>,
     /// Clamped slice values `x_{jk}`, `j_dim · k_dim`.
@@ -46,6 +49,15 @@ pub struct UserScratch {
     dp: Vec<f64>,
     /// Generalized-mean terms `f_j`, `|S|`.
     f: Vec<f64>,
+    /// `f_j^α` cache, `|S|` (reused by the gradient as `f^{α−1} = f^α / f`,
+    /// halving the `powf` count of the distance scans).
+    fpow: Vec<f64>,
+    /// Candidate-gathered probabilities `p_{ij}` for `j ∈ S`, `|S|`.
+    pc: Vec<f64>,
+    /// Candidate-gathered `e_j · minD_j`, `|S|`.
+    ewm: Vec<f64>,
+    /// Candidate-gathered distance column `d(j, j')` for `j ∈ S`, `|S|`.
+    dcol: Vec<f64>,
     /// Prefix products of `(1 − x)`, `k_dim + 1`.
     prefix: Vec<f64>,
     /// Suffix products of `(1 − x)`, `k_dim + 1`.
@@ -365,17 +377,21 @@ impl SocialHausdorffHead {
         // Raw slice and clamped probabilities.
         let (_, j_dim, k_dim) = model.dims();
         let UserScratch {
-            hw,
+            slice,
             raw,
             x,
             p,
             dp,
             f,
+            fpow,
+            pc,
+            ewm,
+            dcol,
             prefix,
             suffix,
             cand,
         } = us;
-        model.user_slice_into(user, hw, raw);
+        model.user_slice_into(user, slice, raw);
         x.resize(j_dim * k_dim, 0.0);
         p.resize(j_dim, 0.0);
         for j in 0..j_dim {
@@ -395,47 +411,62 @@ impl SocialHausdorffHead {
             return 0.0;
         }
 
+        // Gather the candidate-indexed quantities once so the per-`j'`
+        // scans below run over contiguous buffers instead of scattered
+        // `p[j]` / `dist.get` lookups.
+        let s = s_set.len();
+        pc.resize(s, 0.0);
+        ewm.resize(s, 0.0);
+        for (idx, &j) in s_set.iter().enumerate() {
+            pc[idx] = p[j];
+            ewm[idx] = self.e_weights[j] * min_d[j];
+        }
+
         // ---- Term 1 ----
-        let a_norm: f64 = s_set.iter().map(|&j| p[j]).sum();
-        let s1: f64 = s_set
-            .iter()
-            .map(|&j| p[j] * self.e_weights[j] * min_d[j])
-            .sum();
+        // Lane-kernel reductions (canonical order of `tcss_linalg::kernels`;
+        // deterministic, shared by every path that evaluates this head).
+        let a_norm = kernels::sum(pc);
+        let s1 = kernels::dot(pc, ewm);
         let term1 = s1 / (a_norm + eps);
 
         // ---- Term 2 ----
         let n_len = n_set.len() as f64;
-        let s_len = s_set.len() as f64;
+        let s_len = s as f64;
         let mut term2 = 0.0;
         // dL/dp accumulated over both terms.
         dp.clear();
         dp.resize(j_dim, 0.0);
-        for &j in s_set {
+        for (idx, &j) in s_set.iter().enumerate() {
             // Term-1 derivative: (e_j·minD_j − term1)/(A+ε).
-            dp[j] += (self.e_weights[j] * min_d[j] - term1) / (a_norm + eps);
+            dp[j] += (ewm[idx] - term1) / (a_norm + eps);
         }
-        f.resize(s_set.len(), 0.0);
+        f.resize(s, 0.0);
+        fpow.resize(s, 0.0);
+        dcol.resize(s, 0.0);
         for &jp in n_set {
-            let mut mean_pow = 0.0;
             for (idx, &j) in s_set.iter().enumerate() {
-                let fj = (p[j] * self.dist.get(j, jp) + (1.0 - p[j]) * d_max).max(floor);
-                f[idx] = fj;
-                mean_pow += fj.powf(alpha);
+                dcol[idx] = self.dist.get(j, jp);
             }
-            mean_pow /= s_len;
+            for idx in 0..s {
+                let fj = (pc[idx] * dcol[idx] + (1.0 - pc[idx]) * d_max).max(floor);
+                f[idx] = fj;
+                fpow[idx] = fj.powf(alpha);
+            }
+            let mean_pow = kernels::sum(fpow) / s_len;
             let m = mean_pow.powf(1.0 / alpha);
             term2 += self.e_weights[jp] * m;
             if target.wants_grad() {
-                // dM/df_j = (1/|S|) · m̄^{(1−α)/α} · f_j^{α−1};
-                // df_j/dp_j = d(j,j') − d_max (zero where the floor clamps).
+                // dM/df_j = (1/|S|) · m̄^{(1−α)/α} · f_j^{α−1}; the cached
+                // `f^α` gives `f^{α−1}` as `f^α / f`, saving a `powf` per
+                // (j, j') pair. df_j/dp_j = d(j,j') − d_max (zero where the
+                // floor clamps, i.e. where `f` sits exactly on the floor).
                 let m_bar_pow = mean_pow.powf((1.0 - alpha) / alpha);
                 for (idx, &j) in s_set.iter().enumerate() {
-                    let raw = p[j] * self.dist.get(j, jp) + (1.0 - p[j]) * d_max;
-                    if raw <= floor {
+                    if f[idx] <= floor {
                         continue;
                     }
-                    let dm_df = m_bar_pow * f[idx].powf(alpha - 1.0) / s_len;
-                    dp[j] += self.e_weights[jp] / n_len * dm_df * (self.dist.get(j, jp) - d_max);
+                    let dm_df = m_bar_pow * (fpow[idx] / f[idx]) / s_len;
+                    dp[j] += self.e_weights[jp] / n_len * dm_df * (dcol[idx] - d_max);
                 }
             }
         }

@@ -151,7 +151,7 @@ mod tests {
         let h = solve_h(&t, &u1, &u2, &u3, 0.9, 0.1);
         let mut model = TcssModel::new(u1, u2, u3);
         let (loss_ones, _) = rewritten_loss_and_grad(&model, t.entries(), 0.9, 0.1);
-        model.h = h.clone();
+        model.h = h;
         let (loss_solved, grads) = rewritten_loss_and_grad(&model, t.entries(), 0.9, 0.1);
         assert!(
             loss_solved <= loss_ones + 1e-9,

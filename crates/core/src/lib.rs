@@ -35,11 +35,6 @@
 //! # let _ = scores;
 //! ```
 
-// Index-based loops are used deliberately throughout this crate: the
-// numeric kernels mirror the paper's subscripted equations, and iterator
-// chains over multiple parallel buffers obscure rather than clarify them.
-#![allow(clippy::needless_range_loop)]
-
 pub mod checkpoint;
 pub mod config;
 pub mod fault;
@@ -63,7 +58,7 @@ pub use loss::{
     naive_whole_data_loss, negative_sampling_loss_and_grad, negative_sampling_loss_and_grad_ws,
     rewritten_loss_and_grad, rewritten_loss_and_grad_ws, Grads,
 };
-pub use model::TcssModel;
+pub use model::{SliceScratch, TcssModel};
 pub use model_io::{load_model, save_model, ModelIoError};
 pub use sparse_grads::{GradScratch, SparseGrads};
 pub use train::{TcssTrainer, TrainContext, TrainError, TrainReport};

@@ -27,7 +27,7 @@ use crate::sparse_grads::{backprop_entry_sparse, GradScratch, SparseGrads};
 use crate::workspace::TrainWorkspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tcss_linalg::Matrix;
+use tcss_linalg::{kernels, Matrix};
 use tcss_sparse::{SparseTensor3, TensorEntry};
 
 /// Tensor entries per parallel chunk in the entry-loop losses. Small enough
@@ -74,24 +74,29 @@ impl Grads {
         self.u1.axpy_mut(s, &other.u1).expect("same model shape");
         self.u2.axpy_mut(s, &other.u2).expect("same model shape");
         self.u3.axpy_mut(s, &other.u3).expect("same model shape");
-        for (a, &b) in self.h.iter_mut().zip(other.h.iter()) {
-            *a += s * b;
-        }
+        kernels::axpy(s, &other.h, &mut self.h);
     }
 
-    /// Global L2 norm over all buffers.
+    /// Global L2 norm over all buffers (lane-kernel reductions; the
+    /// canonical summation order of [`tcss_linalg::kernels`]).
     pub fn norm(&self) -> f64 {
         let mut acc = 0.0;
         for m in [&self.u1, &self.u2, &self.u3] {
-            acc += m.as_slice().iter().map(|v| v * v).sum::<f64>();
+            let s = m.as_slice();
+            acc += kernels::dot(s, s);
         }
-        acc += self.h.iter().map(|v| v * v).sum::<f64>();
+        acc += kernels::dot(&self.h, &self.h);
         acc.sqrt()
     }
 }
 
 /// Accumulate the gradient of a per-entry score derivative `c = ∂L/∂X̂_{ijk}`
 /// into the factor gradients.
+///
+/// The four rank-wide loops are [`kernels::fused_mul3_axpy`] calls —
+/// elementwise with left-to-right product association, **bit-for-bit**
+/// identical to the scalar loops they replaced, but free of per-element
+/// bounds checks (this is the innermost loop of every training epoch).
 #[inline]
 pub(crate) fn backprop_entry(
     model: &TcssModel,
@@ -101,25 +106,13 @@ pub(crate) fn backprop_entry(
     k: usize,
     c: f64,
 ) {
-    let r = model.h.len();
     let ui = model.u1.row(i);
     let uj = model.u2.row(j);
     let uk = model.u3.row(k);
-    let g1 = grads.u1.row_mut(i);
-    for t in 0..r {
-        g1[t] += c * model.h[t] * uj[t] * uk[t];
-    }
-    let g2 = grads.u2.row_mut(j);
-    for t in 0..r {
-        g2[t] += c * model.h[t] * ui[t] * uk[t];
-    }
-    let g3 = grads.u3.row_mut(k);
-    for t in 0..r {
-        g3[t] += c * model.h[t] * ui[t] * uj[t];
-    }
-    for t in 0..r {
-        grads.h[t] += c * ui[t] * uj[t] * uk[t];
-    }
+    kernels::fused_mul3_axpy(c, &model.h, uj, uk, grads.u1.row_mut(i));
+    kernels::fused_mul3_axpy(c, &model.h, ui, uk, grads.u2.row_mut(j));
+    kernels::fused_mul3_axpy(c, &model.h, ui, uj, grads.u3.row_mut(k));
+    kernels::fused_mul3_axpy(c, ui, uj, uk, &mut grads.h);
 }
 
 /// ---- Whole-data term: w₋ Σ_{r₁r₂} h_{r₁} h_{r₂} G¹ G² G³ ----

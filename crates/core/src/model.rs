@@ -5,7 +5,7 @@
 //! With `h = 1` this is exactly rank-`r` CP (the paper's Remark in §IV-B);
 //! the learnable `h` weights each latent factor.
 
-use tcss_linalg::Matrix;
+use tcss_linalg::{kernels, Matrix};
 
 /// Model parameters: three embedding matrices and the factor-importance
 /// vector `h`.
@@ -63,17 +63,15 @@ impl TcssModel {
     }
 
     /// Predicted score `X̂_{ijk}` (Eq 6).
+    ///
+    /// Evaluated by the fused lane kernel [`kernels::dot4`]; its canonical
+    /// lane-summation order is the model's scoring order, shared by every
+    /// path that scores entries (production chunk loops *and* the dense
+    /// parity references), so dense↔sparse and cross-thread bitwise parity
+    /// are unaffected.
     #[inline]
     pub fn predict(&self, i: usize, j: usize, k: usize) -> f64 {
-        let r = self.h.len();
-        let ui = self.u1.row(i);
-        let uj = self.u2.row(j);
-        let uk = self.u3.row(k);
-        let mut acc = 0.0;
-        for t in 0..r {
-            acc += self.h[t] * ui[t] * uj[t] * uk[t];
-        }
-        acc
+        kernels::dot4(&self.h, self.u1.row(i), self.u2.row(j), self.u3.row(k))
     }
 
     /// Scores for every POI at `(user, time)`: the ranking vector used by
@@ -85,10 +83,7 @@ impl TcssModel {
         // Precompute h ⊙ U¹ᵢ ⊙ U³ₖ once, then one dot per POI.
         let w: Vec<f64> = (0..r).map(|t| self.h[t] * ui[t] * uk[t]).collect();
         (0..self.u2.rows())
-            .map(|j| {
-                let uj = self.u2.row(j);
-                w.iter().zip(uj.iter()).map(|(&a, &b)| a * b).sum()
-            })
+            .map(|j| kernels::dot(&w, self.u2.row(j)))
             .collect()
     }
 
@@ -96,36 +91,78 @@ impl TcssModel {
     /// Hausdorff head to form `p_{ij}` over all time units).
     pub fn user_slice(&self, user: usize) -> Matrix {
         let (_, j_dim, k_dim) = self.dims();
-        let mut hw = Vec::new();
+        let mut scratch = SliceScratch::default();
         let mut out = Vec::new();
-        self.user_slice_into(user, &mut hw, &mut out);
+        self.user_slice_into(user, &mut scratch, &mut out);
         let mut m = Matrix::zeros(j_dim, k_dim);
         m.as_mut_slice().copy_from_slice(&out);
         m
     }
 
     /// Allocation-free form of [`TcssModel::user_slice`]: writes the raw
-    /// `J × K` scores row-major into `out`, using `hw` as scratch for the
-    /// `h ⊙ U¹ᵢ` precomputation. Both buffers are cleared and refilled, so
-    /// pooled scratch can be passed straight in; the arithmetic (and hence
-    /// every output bit) is identical to `user_slice`.
-    pub fn user_slice_into(&self, user: usize, hw: &mut Vec<f64>, out: &mut Vec<f64>) {
+    /// `J × K` scores row-major into `out`, using pooled [`SliceScratch`]
+    /// buffers. All buffers are cleared and refilled, so pooled scratch can
+    /// be passed straight in.
+    ///
+    /// This is the `J·K·r`-flop hot loop of the Hausdorff head, evaluated
+    /// as `r` rank-one updates per output row: `U³` is transposed once per
+    /// call (`K·r` writes amortized over `J·K·r` flops) so the inner `k`
+    /// scan is contiguous, then each row accumulates `w_t · U³ᵗ` for
+    /// ascending `t` through the lane kernels ([`kernels::update_row_quad`]
+    /// in quads of four factors, [`kernels::axpy`] for the `r mod 4` tail).
+    /// Every output element sums its `r` products in the same ascending-`t`
+    /// order, with the same `(h·u¹)·u²·u³` association, as the scalar
+    /// triple loop this replaced — the result is **bit-for-bit** identical
+    /// to `user_slice` and to the pre-kernel implementation.
+    pub fn user_slice_into(&self, user: usize, scratch: &mut SliceScratch, out: &mut Vec<f64>) {
         let (_, j_dim, k_dim) = self.dims();
         let r = self.h.len();
         let ui = self.u1.row(user);
-        hw.clear();
-        hw.extend((0..r).map(|t| self.h[t] * ui[t]));
+        scratch.hw.clear();
+        scratch.hw.extend((0..r).map(|t| self.h[t] * ui[t]));
+        scratch.u3t.clear();
+        scratch.u3t.resize(r * k_dim, 0.0);
+        for k in 0..k_dim {
+            let uk = self.u3.row(k);
+            for (t, &v) in uk.iter().enumerate() {
+                scratch.u3t[t * k_dim + k] = v;
+            }
+        }
+        scratch.wj.clear();
+        scratch.wj.resize(r, 0.0);
         out.clear();
-        out.reserve(j_dim * k_dim);
+        out.resize(j_dim * k_dim, 0.0);
+        let quads = r - r % 4;
         for j in 0..j_dim {
             let uj = self.u2.row(j);
-            for k in 0..k_dim {
-                let uk = self.u3.row(k);
-                let mut acc = 0.0;
-                for t in 0..r {
-                    acc += hw[t] * uj[t] * uk[t];
-                }
-                out.push(acc);
+            for (w, (&hwt, &ujt)) in scratch.wj.iter_mut().zip(scratch.hw.iter().zip(uj.iter())) {
+                *w = hwt * ujt;
+            }
+            let out_row = &mut out[j * k_dim..(j + 1) * k_dim];
+            let mut t = 0;
+            while t < quads {
+                kernels::update_row_quad(
+                    out_row,
+                    [
+                        scratch.wj[t],
+                        scratch.wj[t + 1],
+                        scratch.wj[t + 2],
+                        scratch.wj[t + 3],
+                    ],
+                    &scratch.u3t[t * k_dim..(t + 1) * k_dim],
+                    &scratch.u3t[(t + 1) * k_dim..(t + 2) * k_dim],
+                    &scratch.u3t[(t + 2) * k_dim..(t + 3) * k_dim],
+                    &scratch.u3t[(t + 3) * k_dim..(t + 4) * k_dim],
+                );
+                t += 4;
+            }
+            while t < r {
+                kernels::axpy(
+                    scratch.wj[t],
+                    &scratch.u3t[t * k_dim..(t + 1) * k_dim],
+                    out_row,
+                );
+                t += 1;
             }
         }
     }
@@ -163,6 +200,27 @@ impl TcssModel {
     pub fn num_params(&self) -> usize {
         let (i, j, k) = self.dims();
         (i + j + k + 1) * self.rank()
+    }
+}
+
+/// Reusable scratch buffers for [`TcssModel::user_slice_into`].
+///
+/// Lives in pooled per-worker scratch (the Hausdorff head's `UserScratch`)
+/// so the slice evaluation allocates nothing in steady state. Contents are
+/// an implementation detail of the slice kernel: `hw` holds `h ⊙ U¹ᵢ`,
+/// `wj` the per-row factor weights `h ⊙ U¹ᵢ ⊙ U²ⱼ`, and `u3t` the `r × K`
+/// transpose of `U³` that makes the inner time scan contiguous.
+#[derive(Debug, Default, Clone)]
+pub struct SliceScratch {
+    hw: Vec<f64>,
+    wj: Vec<f64>,
+    u3t: Vec<f64>,
+}
+
+impl SliceScratch {
+    /// Empty scratch; buffers grow on first use and are then recycled.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

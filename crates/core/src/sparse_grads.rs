@@ -41,7 +41,7 @@
 
 use crate::loss::Grads;
 use crate::model::TcssModel;
-use tcss_linalg::Matrix;
+use tcss_linalg::{kernels, Matrix};
 
 /// Sentinel slot meaning "row not touched by the current chunk".
 const EMPTY: u32 = u32::MAX;
@@ -207,20 +207,12 @@ pub(crate) fn backprop_entry_sparse(
     let uj = model.u2.row(j);
     let uk = model.u3.row(k);
     let g1 = delta.u1.row_mut(&mut scratch.slot1, i, r);
-    for t in 0..r {
-        g1[t] += c * model.h[t] * uj[t] * uk[t];
-    }
+    kernels::fused_mul3_axpy(c, &model.h, uj, uk, g1);
     let g2 = delta.u2.row_mut(&mut scratch.slot2, j, r);
-    for t in 0..r {
-        g2[t] += c * model.h[t] * ui[t] * uk[t];
-    }
+    kernels::fused_mul3_axpy(c, &model.h, ui, uk, g2);
     let g3 = delta.u3.row_mut(&mut scratch.slot3, k, r);
-    for t in 0..r {
-        g3[t] += c * model.h[t] * ui[t] * uj[t];
-    }
-    for t in 0..r {
-        delta.h[t] += c * ui[t] * uj[t] * uk[t];
-    }
+    kernels::fused_mul3_axpy(c, &model.h, ui, uj, g3);
+    kernels::fused_mul3_axpy(c, ui, uj, uk, &mut delta.h);
 }
 
 #[cfg(test)]

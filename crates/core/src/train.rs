@@ -116,13 +116,21 @@ impl AdamState {
         self.t += 1;
         let bc1 = 1.0 - B1.powi(self.t as i32);
         let bc2 = 1.0 - B2.powi(self.t as i32);
+        // Zip iteration instead of indexed loops: elementwise (bitwise
+        // identical arithmetic) with no per-element bounds checks, which
+        // lets the whole update autovectorize (sqrt and divide included).
         let update = |w: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]| {
-            for idx in 0..w.len() {
-                m[idx] = B1 * m[idx] + (1.0 - B1) * g[idx];
-                v[idx] = B2 * v[idx] + (1.0 - B2) * g[idx] * g[idx];
-                let mhat = m[idx] / bc1;
-                let vhat = v[idx] / bc2;
-                w[idx] -= lr * (mhat / (vhat.sqrt() + EPS) + weight_decay * w[idx]);
+            for (((wi, &gi), mi), vi) in w
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mi = B1 * *mi + (1.0 - B1) * gi;
+                *vi = B2 * *vi + (1.0 - B2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= lr * (mhat / (vhat.sqrt() + EPS) + weight_decay * *wi);
             }
         };
         update(

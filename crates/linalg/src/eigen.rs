@@ -44,8 +44,8 @@ impl SymOp for DenseSymOp<'_> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        for i in 0..self.mat.rows() {
-            y[i] = crate::vector::dot(self.mat.row(i), x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vector::dot(self.mat.row(i), x);
         }
     }
 }
@@ -318,12 +318,12 @@ mod tests {
         );
         assert!((vals[1] - full_vals[1]).abs() < 1e-7);
         // Residual check: ‖A v − λ v‖ small.
-        for j in 0..2 {
+        for (j, &lambda) in vals.iter().enumerate() {
             let v = vecs.col(j);
             let av = a.matvec(&v).unwrap();
             let mut resid = 0.0;
-            for i in 0..4 {
-                resid += (av[i] - vals[j] * v[i]).powi(2);
+            for (&avi, &vi) in av.iter().zip(v.iter()) {
+                resid += (avi - lambda * vi).powi(2);
             }
             assert!(resid.sqrt() < 1e-6, "residual too large for pair {j}");
         }

@@ -1,0 +1,317 @@
+//! Fixed-lane f64 micro-kernels for the training and scoring hot paths.
+//!
+//! Every primitive here is plain safe Rust — no intrinsics, no `unsafe`.
+//! Two implementation shapes, chosen by what blocks autovectorization:
+//!
+//! * **Reductions** ([`dot`], [`dot4`], [`sum`]) carry a serial dependency
+//!   through their accumulator, which LLVM must not reassociate; they are
+//!   written over [`slice::chunks_exact`] with [`LANES`] independent
+//!   accumulators plus an explicit remainder loop, which both breaks the
+//!   dependency chain and eliminates per-element bounds checks.
+//! * **Elementwise kernels** ([`axpy`] and friends) have no cross-element
+//!   dependency, so vectorization is legal as-is; the only obstacle is
+//!   bounds checking. They are plain index loops over slices re-sliced to
+//!   a common length up front — after that normalization LLVM proves every
+//!   index in range and vectorizes the loop directly. (A manual lane
+//!   structure here only obscures the loop; measured, it was *slower* than
+//!   the normalized scalar form.)
+//!
+//! # Lane width
+//!
+//! [`LANES`] is 4: four f64 lanes fill one 256-bit AVX2 register, and on
+//! narrower targets (128-bit SSE2/NEON) LLVM splits each 4-wide operation
+//! into two 2-wide ones without changing the arithmetic. Widening to 8
+//! would double the remainder-loop cost for the rank-sized (`r ≤ 16`)
+//! vectors that dominate this workspace while only helping AVX-512 hosts.
+//! Tile widths upstream ([`crate::Matrix`]'s 64-wide blocks) are multiples
+//! of `LANES`, so full reduction tiles never enter a remainder loop;
+//! [`update_row_quad`] likewise fuses `LANES` source rows per pass.
+//!
+//! # Reduction-order contract
+//!
+//! Kernels come in two families with different determinism obligations:
+//!
+//! * **Elementwise kernels** ([`axpy`], [`fused_mul_axpy`],
+//!   [`fused_mul3_axpy`], [`update_row_quad`]) perform no cross-element
+//!   reduction: each output element is an independent chain of adds in
+//!   the documented order. They are **bit-for-bit identical** to the
+//!   scalar loops they replaced — vectorizing across elements never
+//!   reorders any per-element float chain.
+//! * **Reduction kernels** ([`dot`], [`dot4`], [`sum`]) use `LANES`
+//!   independent accumulators and therefore define a **new canonical
+//!   summation order** (see below). It is a *fixed* order — a pure
+//!   function of the input length, never of the thread count or the
+//!   caller — so the workspace-wide bitwise determinism contract
+//!   (`tcss_linalg::parallel`) is preserved: every path that consumes a
+//!   reduction kernel produces the same bits at 1, 2, or 4 threads.
+//!
+//! The canonical reduction order, pinned by the proptests in
+//! `tests/kernel_parity.rs`:
+//!
+//! ```text
+//! n   = len - len % LANES            (the "main" prefix)
+//! s_l = Σ_{i < n, i ≡ l (mod LANES)} term(i)     for l = 0..LANES
+//! out = ((s_0 + s_1) + (s_2 + s_3)) + term(n) + term(n+1) + …
+//! ```
+//!
+//! i.e. lane `l` accumulates every `LANES`-th term starting at `l`, in
+//! ascending index order; the four lane sums combine as a fixed pairwise
+//! tree; the tail terms are folded in sequentially, ascending. For
+//! `len < LANES` the main prefix is empty and the kernel degenerates to
+//! the plain left-to-right sum.
+
+/// Fixed vector width (f64 lanes) of every kernel in this module.
+pub const LANES: usize = 4;
+
+/// Multi-accumulator dot product `Σ a[i]·b[i]` in the canonical lane order
+/// (see the module docs). Slices must have equal length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % LANES;
+    let (a_main, a_tail) = a.split_at(n);
+    let (b_main, b_tail) = b.split_at(n);
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Fused four-slice dot `Σ ((a[i]·b[i])·c[i])·d[i]` in the canonical lane
+/// order. This is the model's scoring kernel (`X̂ = Σ_t h_t U¹ U² U³`, paper
+/// Eq 6): the per-term product association matches the scalar loop it
+/// replaced (left-to-right), only the summation order is the lane tree.
+#[inline]
+pub fn dot4(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    debug_assert_eq!(a.len(), d.len());
+    let n = a.len() - a.len() % LANES;
+    let (a_main, a_tail) = a.split_at(n);
+    let (b_main, b_tail) = b.split_at(n);
+    let (c_main, c_tail) = c.split_at(n);
+    let (d_main, d_tail) = d.split_at(n);
+    let mut acc = [0.0f64; LANES];
+    for (((ca, cb), cc), cd) in a_main
+        .chunks_exact(LANES)
+        .zip(b_main.chunks_exact(LANES))
+        .zip(c_main.chunks_exact(LANES))
+        .zip(d_main.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += ((ca[l] * cb[l]) * cc[l]) * cd[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in 0..a_tail.len() {
+        s += ((a_tail[i] * b_tail[i]) * c_tail[i]) * d_tail[i];
+    }
+    s
+}
+
+/// Multi-accumulator sum `Σ a[i]` in the canonical lane order.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    let n = a.len() - a.len() % LANES;
+    let (main, tail) = a.split_at(n);
+    let mut acc = [0.0f64; LANES];
+    for chunk in main.chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] += chunk[l];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &x in tail {
+        s += x;
+    }
+    s
+}
+
+/// `y[i] += alpha · x[i]` (elementwise — bitwise identical to the scalar
+/// loop).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = y.len();
+    let x = &x[..n];
+    for i in 0..n {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// Fused elementwise-product-accumulate `y[i] += (c·a[i])·b[i]`
+/// (elementwise — bitwise identical to the scalar loop, left-to-right
+/// product association).
+#[inline]
+pub fn fused_mul_axpy(c: f64, a: &[f64], b: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), y.len());
+    debug_assert_eq!(b.len(), y.len());
+    let n = y.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    for i in 0..n {
+        y[i] += (c * a[i]) * b[i];
+    }
+}
+
+/// Fused triple-product accumulate `y[i] += ((c·a[i])·b[i])·d[i]`
+/// (elementwise — bitwise identical to the scalar loop, left-to-right
+/// product association). This is the shape of every factor-gradient inner
+/// loop in the entry backprop (`g += c·h⊙U⊙U`, paper Eq 16–19).
+#[inline]
+pub fn fused_mul3_axpy(c: f64, a: &[f64], b: &[f64], d: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), y.len());
+    debug_assert_eq!(b.len(), y.len());
+    debug_assert_eq!(d.len(), y.len());
+    let n = y.len();
+    let (a, b, d) = (&a[..n], &b[..n], &d[..n]);
+    for i in 0..n {
+        y[i] += ((c * a[i]) * b[i]) * d[i];
+    }
+}
+
+/// `LANES`-wide tile micro-kernel: accumulate four weighted rows into an
+/// output row in one pass,
+///
+/// ```text
+/// out[j] = (((out[j] + w[0]·r0[j]) + w[1]·r1[j]) + w[2]·r2[j]) + w[3]·r3[j]
+/// ```
+///
+/// The four adds per element are **sequential** (not a pairwise tree), so
+/// the result is bit-for-bit identical to four consecutive [`axpy`] calls
+/// — and hence to the scalar ascending-`k` loops the tiled `matmul`/`gram`
+/// kernels and the per-user slice evaluation were built from. What the
+/// fusion buys is memory traffic: the output row is loaded and stored once
+/// per four source rows instead of once per row, and the four independent
+/// products per element fill the FMA pipeline.
+#[inline]
+pub fn update_row_quad(
+    out: &mut [f64],
+    w: [f64; 4],
+    r0: &[f64],
+    r1: &[f64],
+    r2: &[f64],
+    r3: &[f64],
+) {
+    debug_assert_eq!(out.len(), r0.len());
+    debug_assert_eq!(out.len(), r1.len());
+    debug_assert_eq!(out.len(), r2.len());
+    debug_assert_eq!(out.len(), r3.len());
+    let n = out.len();
+    let (r0, r1, r2, r3) = (&r0[..n], &r1[..n], &r2[..n], &r3[..n]);
+    for i in 0..n {
+        let mut acc = out[i];
+        acc += w[0] * r0[i];
+        acc += w[1] * r1[i];
+        acc += w[2] * r2[i];
+        acc += w[3] * r3[i];
+        out[i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    /// Naive implementation of the canonical lane order (module docs).
+    fn dot_reference(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() - a.len() % LANES;
+        let mut lanes = [0.0f64; LANES];
+        for i in 0..n {
+            lanes[i % LANES] += a[i] * b[i];
+        }
+        let mut s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in n..a.len() {
+            s += a[i] * b[i];
+        }
+        s
+    }
+
+    #[test]
+    fn dot_matches_canonical_order_bitwise() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 63, 64, 65] {
+            let a = v(n, |i| (i as f64 * 0.37 - 1.0).sin());
+            let b = v(n, |i| (i as f64 * 0.11 + 0.3).cos());
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_reference(&a, &b).to_bits(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_short_lengths_are_sequential() {
+        // Below LANES the kernel must be the plain left-to-right sum.
+        let a = [0.5, -1.25, 2.0];
+        let want = ((a[0] * a[0]) * a[0]) * a[0]
+            + ((a[1] * a[1]) * a[1]) * a[1]
+            + ((a[2] * a[2]) * a[2]) * a[2];
+        assert_eq!(dot4(&a, &a, &a, &a).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn elementwise_kernels_match_scalar_bitwise() {
+        for n in [0usize, 1, 3, 4, 5, 8, 11, 64, 65] {
+            let a = v(n, |i| (i as f64 * 0.7 - 2.0).sin());
+            let b = v(n, |i| (i as f64 * 0.3 + 1.0).cos());
+            let d = v(n, |i| i as f64 * 0.01 - 0.2);
+            let c = -0.8125;
+            let mut y1 = v(n, |i| i as f64 * 0.5);
+            let mut y2 = y1.clone();
+            axpy(c, &a, &mut y1);
+            for i in 0..n {
+                y2[i] += c * a[i];
+            }
+            assert_eq!(y1, y2, "axpy n = {n}");
+            fused_mul_axpy(c, &a, &b, &mut y1);
+            for i in 0..n {
+                y2[i] += (c * a[i]) * b[i];
+            }
+            assert_eq!(y1, y2, "fused_mul_axpy n = {n}");
+            fused_mul3_axpy(c, &a, &b, &d, &mut y1);
+            for i in 0..n {
+                y2[i] += ((c * a[i]) * b[i]) * d[i];
+            }
+            assert_eq!(y1, y2, "fused_mul3_axpy n = {n}");
+        }
+    }
+
+    #[test]
+    fn update_row_quad_equals_four_axpys_bitwise() {
+        for n in [0usize, 1, 3, 4, 5, 12, 63, 64, 65] {
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| v(n, |i| ((i * 7 + r * 13) as f64 * 0.19).sin()))
+                .collect();
+            let w = [1.5, -0.25, 0.75, 2.0];
+            let mut got = v(n, |i| i as f64 * 0.1);
+            let mut want = got.clone();
+            update_row_quad(&mut got, w, &rows[0], &rows[1], &rows[2], &rows[3]);
+            for (k, row) in rows.iter().enumerate() {
+                axpy(w[k], row, &mut want);
+            }
+            let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&want), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sum_empty_and_tiny() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(sum(&[2.5]), 2.5);
+        assert_eq!(
+            sum(&[1.0, 2.0, 3.0, 4.0, 5.0]),
+            ((1.0 + 5.0) + (2.0 + 0.0)) + (3.0 + 4.0) - 0.0
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //! ## Entry points
 //!
 //! * [`Matrix`] — row-major dense matrix with the usual algebra.
+//! * [`kernels`] — fixed-lane ([`LANES`] = 4) autovectorized f64 primitives
+//!   that the hot paths (tiled `matmul`/`gram`, model scoring, gradient
+//!   backprop) are built on; see its docs for the reduction-order contract.
 //! * [`qr::qr_thin`] / [`qr::orthonormalize`] — Householder QR.
 //! * [`eigen::jacobi_eigen`] — full symmetric eigendecomposition.
 //! * [`eigen::top_r_eigenvectors`] — blocked orthogonal iteration over an
@@ -26,12 +29,8 @@
 //!   parallel hot path in the workspace is built on (see its module docs
 //!   for the determinism contract and the `TCSS_NUM_THREADS` knob).
 
-// Index-based loops are used deliberately throughout this crate: the
-// numeric kernels mirror the paper's subscripted equations, and iterator
-// chains over multiple parallel buffers obscure rather than clarify them.
-#![allow(clippy::needless_range_loop)]
-
 pub mod eigen;
+pub mod kernels;
 pub mod matrix;
 pub mod parallel;
 pub mod qr;
@@ -41,6 +40,7 @@ pub mod svd;
 pub mod vector;
 
 pub use eigen::{jacobi_eigen, top_r_eigenvectors, DenseSymOp, SymOp};
+pub use kernels::LANES;
 pub use matrix::Matrix;
 pub use parallel::{
     fold_chunks, map_chunks, map_chunks_with, num_threads, set_num_threads, PoolGuard,

@@ -186,14 +186,21 @@ impl Matrix {
     }
 
     /// Rows of `self` per parallel chunk in [`Self::matmul`] / [`Self::gram`].
+    /// A multiple of the quad micro-kernel width (4), so only the final
+    /// ragged chunk of a matrix ever takes the scalar remainder path.
     const ROWS_PER_CHUNK: usize = 64;
 
     /// Column tile width of the output in [`Self::matmul`] (`j` blocking).
     /// 64×64 f64 tiles of the right operand are 32 KiB — one L1 load per
-    /// `(k, j)` tile pass instead of one per output row.
+    /// `(k, j)` tile pass instead of one per output row. 64 is also
+    /// 16 × [`crate::kernels::LANES`], so a full tile row divides evenly
+    /// into vector lanes and the lane kernels' remainder loops only run on
+    /// the ragged final tile of a non-multiple-of-64 matrix.
     const J_BLOCK: usize = 64;
 
     /// Inner-dimension tile depth in [`Self::matmul`] (`k` blocking).
+    /// A multiple of 4 so full tiles decompose exactly into
+    /// [`crate::kernels::update_row_quad`] calls with no ragged `k` tail.
     const K_BLOCK: usize = 64;
 
     /// Matrix product `self * other`, cache-blocked.
@@ -203,10 +210,17 @@ impl Matrix {
     /// kernel is tiled `(j, k, i, k')` — the `K_BLOCK × J_BLOCK` tile of
     /// `other` stays L1-resident while every row of the chunk streams over
     /// it, instead of being re-fetched once per row as in the untiled i-k-j
-    /// order. Each output element still accumulates its `k` products in
-    /// strictly ascending order (tiles are visited in ascending `k`, and
+    /// order. The `k'` loop runs four rows of `other` at a time through
+    /// [`crate::kernels::update_row_quad`], which performs the four
+    /// weighted-row adds *sequentially* per element. Each output element
+    /// therefore still accumulates its `k` products in strictly ascending
+    /// order (tiles visited in ascending `k`, quads and the remainder in
     /// ascending `k` within a tile), so the result is **bit-for-bit**
-    /// identical to the untiled kernel and independent of the thread count.
+    /// identical to the untiled scalar kernel and independent of the
+    /// thread count. (The old kernel skipped exact-zero `a_ik`; the quad
+    /// kernel does not. This is bitwise-neutral: an accumulator that
+    /// starts at `+0.0` can never become `-0.0` under IEEE-754 addition,
+    /// and adding `±0.0` to it never changes its bits.)
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -230,14 +244,29 @@ impl Matrix {
                     for (bi, i) in range.clone().enumerate() {
                         let a_row = &self.data[i * m + kb..i * m + k_hi];
                         let out_row = &mut block[bi * n + jb..bi * n + j_hi];
-                        for (k, &a_ik) in (kb..k_hi).zip(a_row.iter()) {
-                            if a_ik == 0.0 {
-                                continue;
-                            }
-                            let b_row = &other.data[k * n + jb..k * n + j_hi];
-                            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                                *o += a_ik * b;
-                            }
+                        let span = k_hi - kb;
+                        let quads = span - span % 4;
+                        let mut kk = 0;
+                        while kk < quads {
+                            let k0 = kb + kk;
+                            crate::kernels::update_row_quad(
+                                out_row,
+                                [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+                                &other.data[k0 * n + jb..k0 * n + j_hi],
+                                &other.data[(k0 + 1) * n + jb..(k0 + 1) * n + j_hi],
+                                &other.data[(k0 + 2) * n + jb..(k0 + 2) * n + j_hi],
+                                &other.data[(k0 + 3) * n + jb..(k0 + 3) * n + j_hi],
+                            );
+                            kk += 4;
+                        }
+                        while kk < span {
+                            let k0 = kb + kk;
+                            crate::kernels::axpy(
+                                a_row[kk],
+                                &other.data[k0 * n + jb..k0 * n + j_hi],
+                                out_row,
+                            );
+                            kk += 1;
                         }
                     }
                     kb = k_hi;
@@ -253,9 +282,15 @@ impl Matrix {
         Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
     }
 
-    /// Column tile width in [`Self::gram`] (`a`/`b` blocking). Irrelevant at
-    /// the training ranks (`r ≤ 10`, a single tile) but keeps the kernel
+    /// Column tile width in [`Self::gram`] (`a`/`b` blocking). At the
+    /// training ranks (`r ≤ 10`) the whole Gram fits in a single tile and
+    /// the blocking never triggers; it exists to keep the kernel
     /// cache-resident for the wide matrices the eigen/SVD paths produce.
+    /// Like [`Self::J_BLOCK`], it is a multiple of
+    /// [`crate::kernels::LANES`], so full off-diagonal tiles vectorize
+    /// with no lane remainder (the diagonal tile's triangular rows are
+    /// ragged by construction and take the remainder path for their last
+    /// `< LANES` elements).
     const GRAM_BLOCK: usize = 64;
 
     /// Gram matrix `selfᵀ * self` (`cols × cols`), exploiting symmetry.
@@ -265,9 +300,13 @@ impl Matrix {
     /// is a deterministic chunked reduction: per-chunk partial Grams merged
     /// in chunk order, so the floats never depend on the thread count.
     /// Within a chunk the upper triangle is computed per `(a, b)` column
-    /// tile with the row loop innermost-but-one, so each output element
-    /// accumulates its per-row products in ascending row order exactly as
-    /// the untiled kernel did — tiling is bitwise-invisible.
+    /// tile, streaming rows four at a time through
+    /// [`crate::kernels::update_row_quad`] (sequential adds per element),
+    /// so each output element accumulates its per-row products in strictly
+    /// ascending row order exactly as the untiled scalar kernel did —
+    /// tiling and the quad micro-kernel are bitwise-invisible. (The old
+    /// kernel's exact-zero skip is gone; see [`Self::matmul`] for why that
+    /// is bitwise-neutral.)
     pub fn gram(&self) -> Matrix {
         let r = self.cols;
         let mut g = crate::parallel::fold_chunks(
@@ -282,17 +321,37 @@ impl Matrix {
                     let mut bb = ab;
                     while bb < r {
                         let b_hi = (bb + Self::GRAM_BLOCK).min(r);
-                        for i in range.clone() {
+                        let quads = range.len() - range.len() % 4;
+                        let mut i = range.start;
+                        while i < range.start + quads {
+                            let r0 = self.row(i);
+                            let r1 = self.row(i + 1);
+                            let r2 = self.row(i + 2);
+                            let r3 = self.row(i + 3);
+                            for a in ab..a_hi {
+                                let lo = a.max(bb);
+                                crate::kernels::update_row_quad(
+                                    &mut part.data[a * r + lo..a * r + b_hi],
+                                    [r0[a], r1[a], r2[a], r3[a]],
+                                    &r0[lo..b_hi],
+                                    &r1[lo..b_hi],
+                                    &r2[lo..b_hi],
+                                    &r3[lo..b_hi],
+                                );
+                            }
+                            i += 4;
+                        }
+                        while i < range.end {
                             let row = self.row(i);
                             for a in ab..a_hi {
-                                let ra = row[a];
-                                if ra == 0.0 {
-                                    continue;
-                                }
-                                for b in a.max(bb)..b_hi {
-                                    part.data[a * r + b] += ra * row[b];
-                                }
+                                let lo = a.max(bb);
+                                crate::kernels::axpy(
+                                    row[a],
+                                    &row[lo..b_hi],
+                                    &mut part.data[a * r + lo..a * r + b_hi],
+                                );
                             }
+                            i += 1;
                         }
                         bb = b_hi;
                     }
@@ -324,8 +383,8 @@ impl Matrix {
             });
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            y[i] = crate::vector::dot(self.row(i), x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::vector::dot(self.row(i), x);
         }
         Ok(y)
     }
@@ -387,15 +446,14 @@ impl Matrix {
                 got: format!("{}x{}", other.rows, other.cols),
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += s * b;
-        }
+        crate::kernels::axpy(s, &other.data, &mut self.data);
         Ok(())
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (lane-kernel reduction; see
+    /// [`crate::kernels`] for the canonical summation order).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        crate::kernels::dot(&self.data, &self.data).sqrt()
     }
 
     /// Maximum absolute entry.
@@ -587,14 +645,13 @@ mod tests {
             let c = a.matmul(&b).unwrap();
             for i in 0..m {
                 for j in 0..n {
-                    // Ascending-k accumulation, skipping exact zeros — the
-                    // summation order the kernel promises to preserve.
+                    // Plain ascending-k accumulation — the summation order
+                    // the kernel promises to preserve. (The quad micro-
+                    // kernel adds its four rows sequentially per element,
+                    // so no reduction tree appears here.)
                     let mut want = 0.0;
                     for t in 0..k {
-                        let a_ik = a.get(i, t);
-                        if a_ik != 0.0 {
-                            want += a_ik * b.get(t, j);
-                        }
+                        want += a.get(i, t) * b.get(t, j);
                     }
                     assert_eq!(
                         c.get(i, j).to_bits(),

@@ -60,7 +60,10 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
             x[row] -= factor * x[col];
         }
     }
-    // Back substitution.
+    // Back substitution. The index loop is intentional: `c` addresses the
+    // strict upper triangle of row `col`, an offset range an iterator over
+    // `x` would only obscure.
+    #[allow(clippy::needless_range_loop)]
     for col in (0..n).rev() {
         let mut acc = x[col];
         for c in (col + 1)..n {

@@ -56,20 +56,16 @@ impl SymOp for NormalOp<'_> {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         // y = Aᵀ (A x); stream row-wise over A for both products.
-        let (m, n) = self.a.shape();
+        let m = self.a.rows();
         let mut ax = vec![0.0; m];
-        for i in 0..m {
-            ax[i] = crate::vector::dot(self.a.row(i), x);
+        for (i, axi) in ax.iter_mut().enumerate() {
+            *axi = crate::vector::dot(self.a.row(i), x);
         }
-        for i in 0..m {
-            let axi = ax[i];
+        for (i, &axi) in ax.iter().enumerate() {
             if axi == 0.0 {
                 continue;
             }
-            let row = self.a.row(i);
-            for j in 0..n {
-                y[j] += row[j] * axi;
-            }
+            crate::kernels::axpy(axi, self.a.row(i), y);
         }
     }
 }
@@ -87,10 +83,10 @@ pub fn truncated_svd(a: &Matrix, r: usize, cfg: &OrthIterConfig) -> Result<Svd> 
         // U = A V Σ⁻¹ (columns with σ=0 are left as zero vectors).
         let av = a.matmul(&v)?;
         let mut u = Matrix::zeros(m, r);
-        for j in 0..r {
-            if sigma[j] > 1e-12 {
+        for (j, &sj) in sigma.iter().enumerate() {
+            if sj > 1e-12 {
                 for i in 0..m {
-                    u.set(i, j, av.get(i, j) / sigma[j]);
+                    u.set(i, j, av.get(i, j) / sj);
                 }
             }
         }

@@ -2,12 +2,15 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Delegates to the fixed-lane kernel [`crate::kernels::dot`]; the
+/// summation order is that kernel's canonical lane order (a pure function
+/// of the length, so still deterministic across thread counts).
+///
 /// Debug-asserts equal lengths; in release builds the shorter length wins,
 /// which is never exercised by callers in this workspace.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -16,13 +19,11 @@ pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (delegates to [`crate::kernels::axpy`]; elementwise,
+/// bitwise identical to the scalar loop).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// Scale a vector in place.

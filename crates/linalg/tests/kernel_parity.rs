@@ -1,0 +1,241 @@
+//! Bitwise parity for the fixed-lane kernels (`tcss_linalg::kernels`).
+//!
+//! The kernels' module docs pin a canonical reduction order (lane `l` sums
+//! every `LANES`-th term ascending; lanes combine as a fixed pairwise tree;
+//! the tail folds in sequentially). This suite re-implements that order
+//! naively — straight from the documented contract, sharing no code with
+//! the kernels — and pins every kernel to it with `f64::to_bits` equality,
+//! at sizes straddling the lane boundary (0, 1, LANES±1, …) and the 64-wide
+//! matrix tiles (63/64/65).
+//!
+//! The blocked `matmul`/`gram` consumers are additionally pinned to be
+//! thread-count independent at tile-boundary shapes: the kernels define a
+//! fixed order, so 1/2/4 threads must agree bit-for-bit.
+
+use proptest::prelude::*;
+use tcss_linalg::kernels::{
+    axpy, dot, dot4, fused_mul3_axpy, fused_mul_axpy, sum, update_row_quad,
+};
+use tcss_linalg::{set_num_threads, Matrix, LANES};
+
+/// Sizes straddling the lane boundary and the 64-wide tile boundary.
+const BOUNDARY_SIZES: [usize; 11] = [0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65];
+
+/// The documented canonical reduction order, applied to precomputed terms.
+/// This is the *reference* the kernels are pinned against; it is written
+/// from the module-docs pseudocode, not from the kernel code.
+fn lanes_reduce(terms: &[f64]) -> f64 {
+    let n = terms.len() - terms.len() % LANES;
+    let mut lane = [0.0f64; LANES];
+    for (i, &t) in terms[..n].iter().enumerate() {
+        lane[i % LANES] += t;
+    }
+    let mut s = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    for &t in &terms[n..] {
+        s += t;
+    }
+    s
+}
+
+/// A strategy over vector lengths: draws every boundary size (weighted
+/// heavily) plus arbitrary lengths past the last boundary.
+fn len_strategy() -> impl Strategy<Value = usize> {
+    (0usize..108).prop_map(|i| {
+        if i < 44 {
+            BOUNDARY_SIZES[i % BOUNDARY_SIZES.len()]
+        } else {
+            i + 22 // 66..130
+        }
+    })
+}
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0f64..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `dot` follows the canonical order exactly, for every length class.
+    #[test]
+    fn dot_is_canonical_order(
+        (a, b) in len_strategy().prop_flat_map(|n| (vec_strategy(n), vec_strategy(n)))
+    ) {
+        let terms: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        prop_assert_eq!(dot(&a, &b).to_bits(), lanes_reduce(&terms).to_bits());
+    }
+
+    /// `dot4` (the Eq 6 scoring kernel): left-to-right product association
+    /// per term, canonical summation order across terms.
+    #[test]
+    fn dot4_is_canonical_order(
+        (a, b, c, d) in len_strategy().prop_flat_map(|n| {
+            (vec_strategy(n), vec_strategy(n), vec_strategy(n), vec_strategy(n))
+        })
+    ) {
+        let terms: Vec<f64> = (0..a.len())
+            .map(|i| ((a[i] * b[i]) * c[i]) * d[i])
+            .collect();
+        prop_assert_eq!(
+            dot4(&a, &b, &c, &d).to_bits(),
+            lanes_reduce(&terms).to_bits()
+        );
+    }
+
+    /// `sum` follows the canonical order exactly.
+    #[test]
+    fn sum_is_canonical_order(
+        a in len_strategy().prop_flat_map(vec_strategy)
+    ) {
+        prop_assert_eq!(sum(&a).to_bits(), lanes_reduce(&a).to_bits());
+    }
+
+    /// The elementwise kernels are bit-for-bit the scalar loops they
+    /// replaced: no cross-element reduction, so the lane structure must be
+    /// invisible.
+    #[test]
+    fn elementwise_kernels_match_scalar_loops(
+        (s, a, b, d, y0) in (len_strategy(), -2.0f64..2.0).prop_flat_map(|(n, s)| {
+            (
+                Just(s),
+                vec_strategy(n),
+                vec_strategy(n),
+                vec_strategy(n),
+                vec_strategy(n),
+            )
+        })
+    ) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+        let mut got = y0.clone();
+        let mut want = y0.clone();
+        axpy(s, &a, &mut got);
+        for (yi, &xi) in want.iter_mut().zip(&a) {
+            *yi += s * xi;
+        }
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        fused_mul_axpy(s, &a, &b, &mut got);
+        for i in 0..want.len() {
+            want[i] += (s * a[i]) * b[i];
+        }
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        fused_mul3_axpy(s, &a, &b, &d, &mut got);
+        for i in 0..want.len() {
+            want[i] += ((s * a[i]) * b[i]) * d[i];
+        }
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// `update_row_quad` is four sequential adds per element — bitwise
+    /// identical to four consecutive scalar axpy loops in ascending row
+    /// order.
+    #[test]
+    fn update_row_quad_matches_sequential_axpys(
+        (w, r0, r1, r2, r3, y0) in len_strategy().prop_flat_map(|n| {
+            (
+                (-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0)
+                    .prop_map(|(w0, w1, w2, w3)| [w0, w1, w2, w3]),
+                vec_strategy(n),
+                vec_strategy(n),
+                vec_strategy(n),
+                vec_strategy(n),
+                vec_strategy(n),
+            )
+        })
+    ) {
+        let mut got = y0.clone();
+        let mut want = y0;
+        update_row_quad(&mut got, w, &r0, &r1, &r2, &r3);
+        for (wk, row) in w.iter().zip([&r0, &r1, &r2, &r3]) {
+            for (yi, &xi) in want.iter_mut().zip(row) {
+                *yi += wk * xi;
+            }
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+}
+
+fn filled(rows: usize, cols: usize, phase: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        ((i * cols + j) as f64 * 0.137 + phase).sin()
+    })
+}
+
+/// Blocked `matmul` at tile-boundary shapes: bitwise identical at 1/2/4
+/// threads (the quad kernel's order is a function of shape only), and
+/// numerically the textbook product.
+#[test]
+fn matmul_thread_parity_at_tile_boundaries() {
+    for &(m, k, n) in &[
+        (1usize, 5usize, 3usize),
+        (63, 65, 64),
+        (64, 64, 64),
+        (65, 63, 66),
+        (65, 129, 4),
+    ] {
+        let a = filled(m, k, 0.3);
+        let b = filled(k, n, 1.1);
+        set_num_threads(Some(1));
+        let want = a.matmul(&b).expect("shapes agree");
+        for threads in [2usize, 4] {
+            set_num_threads(Some(threads));
+            let got = a.matmul(&b).expect("shapes agree");
+            let same = want
+                .as_slice()
+                .iter()
+                .zip(got.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "matmul {m}x{k}x{n} differs at {threads} threads");
+        }
+        // Value correctness against the textbook triple loop.
+        for i in 0..m {
+            for j in 0..n {
+                let naive: f64 = (0..k).map(|t| a.get(i, t) * b.get(t, j)).sum();
+                assert!(
+                    (want.get(i, j) - naive).abs() <= 1e-12 * (1.0 + naive.abs()),
+                    "matmul {m}x{k}x{n} wrong at ({i},{j})"
+                );
+            }
+        }
+    }
+    set_num_threads(None);
+}
+
+/// Blocked `gram` at tile-boundary shapes: bitwise identical at 1/2/4
+/// threads, bitwise symmetric, and numerically `AᵀA`.
+#[test]
+fn gram_thread_parity_at_tile_boundaries() {
+    for &(rows, cols) in &[(1usize, 3usize), (63, 5), (64, 4), (65, 4), (129, 3)] {
+        let a = filled(rows, cols, 0.7);
+        set_num_threads(Some(1));
+        let want = a.gram();
+        for threads in [2usize, 4] {
+            set_num_threads(Some(threads));
+            let got = a.gram();
+            let same = want
+                .as_slice()
+                .iter()
+                .zip(got.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "gram {rows}x{cols} differs at {threads} threads");
+        }
+        for p in 0..cols {
+            for q in 0..cols {
+                let naive: f64 = (0..rows).map(|t| a.get(t, p) * a.get(t, q)).sum();
+                assert!(
+                    (want.get(p, q) - naive).abs() <= 1e-12 * (1.0 + naive.abs()),
+                    "gram {rows}x{cols} wrong at ({p},{q})"
+                );
+                assert_eq!(
+                    want.get(p, q).to_bits(),
+                    want.get(q, p).to_bits(),
+                    "gram asymmetric at ({p},{q})"
+                );
+            }
+        }
+    }
+    set_num_threads(None);
+}

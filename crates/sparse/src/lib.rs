@@ -15,11 +15,6 @@
 //! * [`CsrMatrix`] — compressed sparse rows, used for the user–POI matrix
 //!   fed to the matrix-completion baselines and for graph-ish kernels.
 
-// Index-based loops are used deliberately throughout this crate: the
-// numeric kernels mirror the paper's subscripted equations, and iterator
-// chains over multiple parallel buffers obscure rather than clarify them.
-#![allow(clippy::needless_range_loop)]
-
 pub mod matrix;
 pub mod tensor;
 

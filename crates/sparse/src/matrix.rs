@@ -91,12 +91,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -105,8 +105,7 @@ impl CsrMatrix {
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         debug_assert_eq!(x.len(), self.rows);
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

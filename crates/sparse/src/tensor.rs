@@ -315,18 +315,40 @@ impl SymOp for ModeGramOp<'_> {
             t[f] += e.value * x[row];
         }
         // y = A t − d ⊙ x. The gather is a per-row dot over the tensor's
-        // mode index, parallelized over fixed row chunks; each row's sum
-        // runs over its entries in the same sorted order as the serial
-        // loop, so the result is bit-for-bit thread-count independent.
+        // mode index, parallelized over fixed row chunks. Each row reduces
+        // with four independent accumulators in the canonical lane order of
+        // `tcss_linalg::kernels` (lane l takes every 4th entry starting at
+        // l, in sorted entry order; fixed pairwise combine; sequential
+        // tail) — a pure function of the row's entry list, so the result
+        // stays bit-for-bit thread-count independent. The indexed loads
+        // can't autovectorize, but the four parallel dependency chains
+        // cover the gather latency the old serial `sum()` stalled on.
         let rows = y.len();
         const ROWS_PER_CHUNK: usize = 256;
+        let lists: &[Vec<u32>] = match self.mode {
+            Mode::One => &self.tensor.index[0],
+            Mode::Two => &self.tensor.index[1],
+            Mode::Three => &self.tensor.index[2],
+        };
+        let entries = self.tensor.entries();
         let sums = tcss_linalg::map_chunks(rows, ROWS_PER_CHUNK, |range| {
             range
                 .map(|row| {
-                    self.tensor
-                        .slice(self.mode, row)
-                        .map(|e| e.value * t[self.fiber_index(e)])
-                        .sum::<f64>()
+                    let pos = &lists[row];
+                    let main = pos.len() - pos.len() % 4;
+                    let mut acc = [0.0f64; 4];
+                    for quad in pos[..main].chunks_exact(4) {
+                        for (a, &p) in acc.iter_mut().zip(quad.iter()) {
+                            let e = &entries[p as usize];
+                            *a += e.value * t[self.fiber_index(e)];
+                        }
+                    }
+                    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+                    for &p in &pos[main..] {
+                        let e = &entries[p as usize];
+                        s += e.value * t[self.fiber_index(e)];
+                    }
+                    s
                 })
                 .collect::<Vec<f64>>()
         });
