@@ -1,0 +1,263 @@
+//! Serving-layer benchmark: batched scoring + version-keyed caches
+//! against the per-request `scores_for` + full-sort baseline.
+//!
+//! Emits `BENCH_serving.json` into the current directory. For each thread
+//! count (1/2/4) and batch size (1/32/256) it reports requests/sec for
+//! three request paths over the same request stream:
+//!
+//! * `baseline_rps` — per-request `TcssModel::recommend_full_sort` (one
+//!   `scores_for` + one stable full sort per request; the pre-serving-layer
+//!   path). Independent of batch size; repeated per row for easy reading.
+//! * `cold_rps` — a fresh `ServingEngine` per measurement pass, every
+//!   request a distinct `(user, time)` pair, so every weight vector and
+//!   top-n list is computed (batching + partial selection win only).
+//! * `warm_rps` — the engine pre-warmed on the working set, so every
+//!   request is a version-valid top-n cache hit.
+//!
+//! Before timing anything, the harness asserts the serving contract at
+//! every thread count: each `score_batch` row must be **bitwise** equal to
+//! `scores_for` for that request (the run aborts otherwise), and the
+//! result is recorded as `"parity_bitwise"` in the JSON.
+//!
+//! `TCSS_BENCH_SMOKE=1` shrinks the fixture to CI-smoke sizes: the run
+//! finishes in seconds and only the JSON shape is meaningful.
+
+use std::time::Instant;
+
+use tcss_core::{random_init, TcssModel};
+use tcss_linalg::set_num_threads;
+use tcss_serve::{ScoreRequest, ServingEngine};
+
+const TOP_N: usize = 10;
+const THREADS: [usize; 3] = [1, 2, 4];
+const BATCH_SIZES: [usize; 3] = [1, 32, 256];
+/// Timing passes per measurement; the fastest pass is reported, which is
+/// the usual way to suppress scheduler noise in throughput benchmarks.
+const PASSES: usize = 3;
+
+struct Fixture {
+    name: String,
+    model: TcssModel,
+    /// Every `(user, time)` pair exactly once, in stride-scrambled order
+    /// so consecutive requests touch different users.
+    all_pairs: Vec<ScoreRequest>,
+    /// The warm working set: the prefix of `all_pairs` that warm-path
+    /// requests cycle through.
+    working_set: usize,
+    /// Requests per timing pass.
+    n_requests: usize,
+}
+
+fn fixture(smoke: bool) -> Fixture {
+    let (dims, rank) = if smoke {
+        ((30usize, 120usize, 6usize), 4usize)
+    } else {
+        ((600, 3000, 12), 10)
+    };
+    let (u1, u2, u3) = random_init(dims, rank, 2026);
+    let model = TcssModel::new(u1, u2, u3);
+    let unique = dims.0 * dims.2;
+    // Stride 97 is coprime to every fixture's pair count, so this visits
+    // each pair exactly once while scattering users/times.
+    assert_eq!(gcd(97, unique), 1, "stride must stay coprime to the grid");
+    let all_pairs: Vec<ScoreRequest> = (0..unique)
+        .map(|p| {
+            let q = (p * 97) % unique;
+            ScoreRequest {
+                user: q / dims.2,
+                time: q % dims.2,
+            }
+        })
+        .collect();
+    Fixture {
+        name: format!(
+            "synth-{}x{}x{}-r{rank}{}",
+            dims.0,
+            dims.1,
+            dims.2,
+            if smoke { "-smoke" } else { "" }
+        ),
+        model,
+        all_pairs,
+        working_set: if smoke { 64 } else { 512 },
+        n_requests: if smoke { 256 } else { 2048 },
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Requests/sec for the fastest of `PASSES` runs of `pass`, where each
+/// pass serves `requests` requests and `setup` builds its input.
+fn best_rps<S>(requests: usize, mut setup: impl FnMut() -> S, mut pass: impl FnMut(&mut S)) -> f64 {
+    let mut best_ns = u64::MAX;
+    for _ in 0..PASSES {
+        let mut state = setup();
+        let t = Instant::now();
+        pass(&mut state);
+        best_ns = best_ns.min(t.elapsed().as_nanos() as u64);
+    }
+    requests as f64 * 1e9 / best_ns.max(1) as f64
+}
+
+/// Bitwise parity: every `score_batch` row equals `scores_for`, at the
+/// given thread count, on a cold and a warm cache. Aborts on mismatch —
+/// a serving layer that returns different numbers is not worth timing.
+fn assert_parity(fx: &Fixture, threads: usize) {
+    set_num_threads(Some(threads));
+    let sample = &fx.all_pairs[..fx.working_set.min(fx.all_pairs.len())];
+    let engine = ServingEngine::new(fx.model.clone());
+    for round in 0..2 {
+        let batch = engine.score_batch(sample).expect("in-range requests");
+        for (b, q) in sample.iter().enumerate() {
+            let want = fx.model.scores_for(q.user, q.time);
+            let got = batch.scores.row(b);
+            assert_eq!(got.len(), want.len());
+            for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "parity violation: request {b} poi {j} at {threads} threads (round {round})"
+                );
+            }
+        }
+    }
+}
+
+struct Row {
+    threads: usize,
+    batch: usize,
+    baseline_rps: f64,
+    cold_rps: f64,
+    warm_rps: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("TCSS_BENCH_SMOKE").is_ok();
+    let fx = fixture(smoke);
+    let (i_dim, j_dim, k_dim) = fx.model.dims();
+    println!(
+        "serving fixture: {} users × {} POIs × {} slots, rank {}, \
+         {} unique pairs, working set {}, {} requests/pass",
+        i_dim,
+        j_dim,
+        k_dim,
+        fx.model.h.len(),
+        fx.all_pairs.len(),
+        fx.working_set,
+        fx.n_requests
+    );
+
+    for t in THREADS {
+        assert_parity(&fx, t);
+    }
+    println!("parity: batched scores bitwise equal to scores_for at 1/2/4 threads");
+
+    let working = &fx.all_pairs[..fx.working_set.min(fx.all_pairs.len())];
+    // Cold passes must never repeat a pair, or they stop being cold.
+    let cold_requests = fx.n_requests.min(fx.all_pairs.len());
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut warm_hit_rate = 0.0;
+    for threads in THREADS {
+        set_num_threads(Some(threads));
+
+        // Baseline: one scores_for + full sort per request, same stream
+        // the warm path serves. Batch-size independent.
+        let baseline_rps = best_rps(
+            fx.n_requests,
+            || (),
+            |_| {
+                for r in 0..fx.n_requests {
+                    let q = working[r % working.len()];
+                    std::hint::black_box(fx.model.recommend_full_sort(q.user, q.time, TOP_N));
+                }
+            },
+        );
+
+        for batch in BATCH_SIZES {
+            let cold_rps = best_rps(
+                cold_requests,
+                || ServingEngine::new(fx.model.clone()),
+                |engine| {
+                    for chunk in fx.all_pairs[..cold_requests].chunks(batch) {
+                        std::hint::black_box(
+                            engine.recommend_batch(chunk, TOP_N).expect("in range"),
+                        );
+                    }
+                },
+            );
+
+            let warm_rps = best_rps(
+                fx.n_requests,
+                || {
+                    let engine = ServingEngine::new(fx.model.clone());
+                    engine.recommend_batch(working, TOP_N).expect("in range");
+                    let stream: Vec<ScoreRequest> = (0..fx.n_requests)
+                        .map(|r| working[r % working.len()])
+                        .collect();
+                    (engine, stream)
+                },
+                |(engine, stream)| {
+                    for chunk in stream.chunks(batch) {
+                        std::hint::black_box(
+                            engine.recommend_batch(chunk, TOP_N).expect("in range"),
+                        );
+                    }
+                    warm_hit_rate = engine.metrics().topn_hit_rate();
+                },
+            );
+
+            println!(
+                "t{threads} b{batch:<3}  baseline {baseline_rps:>10.0} req/s   \
+                 cold {cold_rps:>10.0} ({:>5.2}x)   warm {warm_rps:>10.0} ({:>5.2}x)",
+                cold_rps / baseline_rps,
+                warm_rps / baseline_rps
+            );
+            rows.push(Row {
+                threads,
+                batch,
+                baseline_rps,
+                cold_rps,
+                warm_rps,
+            });
+        }
+    }
+    set_num_threads(None);
+    println!("warm top-n cache hit rate (last run): {warm_hit_rate:.4}");
+
+    // --- JSON -------------------------------------------------------------
+    let mut json = String::from("{\n  \"group\": \"serving\",\n");
+    json.push_str(&format!("  \"fixture\": \"{}\",\n", fx.name));
+    json.push_str(&format!(
+        "  \"top_n\": {TOP_N},\n  \"working_set\": {},\n  \
+         \"requests_per_pass\": {},\n  \"cold_requests_per_pass\": {cold_requests},\n  \
+         \"parity_bitwise\": true,\n  \"warm_topn_hit_rate\": {warm_hit_rate:.4},\n",
+        working.len(),
+        fx.n_requests
+    ));
+    json.push_str("  \"throughput\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let sep = if idx + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"batch\": {}, \"baseline_rps\": {:.1}, \
+             \"cold_rps\": {:.1}, \"warm_rps\": {:.1}, \
+             \"cold_speedup\": {:.3}, \"warm_speedup\": {:.3}}}{sep}\n",
+            r.threads,
+            r.batch,
+            r.baseline_rps,
+            r.cold_rps,
+            r.warm_rps,
+            r.cold_rps / r.baseline_rps,
+            r.warm_rps / r.baseline_rps
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serving.json", json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+}

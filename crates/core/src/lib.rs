@@ -44,6 +44,7 @@ pub mod loss;
 pub mod model;
 pub mod model_io;
 pub mod sparse_grads;
+pub mod topn;
 pub mod train;
 pub mod workspace;
 
@@ -61,5 +62,6 @@ pub use loss::{
 pub use model::{SliceScratch, TcssModel};
 pub use model_io::{load_model, save_model, ModelIoError};
 pub use sparse_grads::{GradScratch, SparseGrads};
+pub use topn::{rank_order, top_n, top_n_full_sort};
 pub use train::{TcssTrainer, TrainContext, TrainError, TrainReport};
 pub use workspace::TrainWorkspace;

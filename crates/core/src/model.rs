@@ -74,14 +74,30 @@ impl TcssModel {
         kernels::dot4(&self.h, self.u1.row(i), self.u2.row(j), self.u3.row(k))
     }
 
-    /// Scores for every POI at `(user, time)`: the ranking vector used by
-    /// the evaluation protocol and the recommendation API.
-    pub fn scores_for(&self, user: usize, time: usize) -> Vec<f64> {
+    /// The per-request weight vector `w = h ⊙ U¹ᵢ ⊙ U³ₖ` (length `r`),
+    /// written into `out` (cleared first, so pooled buffers can be passed
+    /// straight in).
+    ///
+    /// Scoring any POI `j` is then `kernels::dot(&w, u2.row(j))` — this is
+    /// the factorization [`TcssModel::scores_for`] exploits per request and
+    /// the serving layer caches per `(user, time)` key: the `r` multiplies
+    /// here are shared by all `J` POI dots, and by every batch row that
+    /// reuses the cached `w`.
+    #[inline]
+    pub fn weight_vector_into(&self, user: usize, time: usize, out: &mut Vec<f64>) {
         let r = self.h.len();
         let ui = self.u1.row(user);
         let uk = self.u3.row(time);
+        out.clear();
+        out.extend((0..r).map(|t| self.h[t] * ui[t] * uk[t]));
+    }
+
+    /// Scores for every POI at `(user, time)`: the ranking vector used by
+    /// the evaluation protocol and the recommendation API.
+    pub fn scores_for(&self, user: usize, time: usize) -> Vec<f64> {
         // Precompute h ⊙ U¹ᵢ ⊙ U³ₖ once, then one dot per POI.
-        let w: Vec<f64> = (0..r).map(|t| self.h[t] * ui[t] * uk[t]).collect();
+        let mut w = Vec::new();
+        self.weight_vector_into(user, time, &mut w);
         (0..self.u2.rows())
             .map(|j| kernels::dot(&w, self.u2.row(j)))
             .collect()
@@ -173,14 +189,17 @@ impl TcssModel {
     /// the model's raw output is unconstrained, but the paper semantically
     /// treats `X̂` as `P(X = 1)`.
     pub fn visit_probabilities(&self, user: usize) -> Vec<f64> {
-        let slice = self.user_slice(user);
-        let (j_dim, k_dim) = slice.shape();
+        // Raw slice scores via the allocation-free path: one flat buffer,
+        // no intermediate `Matrix` copy.
+        let (_, j_dim, k_dim) = self.dims();
+        let mut scratch = SliceScratch::default();
+        let mut slice = Vec::new();
+        self.user_slice_into(user, &mut scratch, &mut slice);
         (0..j_dim)
             .map(|j| {
                 let mut not_visit = 1.0;
-                for k in 0..k_dim {
-                    let x = clamp_prob(slice.get(j, k));
-                    not_visit *= 1.0 - x;
+                for &s in &slice[j * k_dim..(j + 1) * k_dim] {
+                    not_visit *= 1.0 - clamp_prob(s);
                 }
                 1.0 - not_visit
             })
@@ -188,12 +207,22 @@ impl TcssModel {
     }
 
     /// Top-`n` POI recommendations for `(user, time)` as `(poi, score)`
-    /// pairs sorted by descending score.
+    /// pairs in ranking order — descending score, ties broken by ascending
+    /// POI index ([`crate::topn::rank_order`]).
+    ///
+    /// Selection is `O(J)` partial ([`crate::topn::top_n`]) rather than a
+    /// full sort; [`TcssModel::recommend_full_sort`] keeps the full-sort
+    /// reference reachable for the parity tests.
     pub fn recommend(&self, user: usize, time: usize, n: usize) -> Vec<(usize, f64)> {
-        let scores = self.scores_for(user, time);
-        let mut idx: Vec<usize> = (0..scores.len()).collect();
-        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores finite"));
-        idx.into_iter().take(n).map(|j| (j, scores[j])).collect()
+        crate::topn::top_n(&self.scores_for(user, time), n)
+    }
+
+    /// Reference implementation of [`TcssModel::recommend`] by full stable
+    /// sort (the historical behavior: a stable descending sort leaves ties
+    /// in ascending POI order, exactly the [`crate::topn::rank_order`]
+    /// contract). Kept for parity testing; prefer `recommend`.
+    pub fn recommend_full_sort(&self, user: usize, time: usize, n: usize) -> Vec<(usize, f64)> {
+        crate::topn::top_n_full_sort(&self.scores_for(user, time), n)
     }
 
     /// Total number of scalar parameters.

@@ -282,6 +282,68 @@ impl Matrix {
         Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
     }
 
+    /// Rows of `other` per L1-resident block in [`Self::matmul_nt`]. With
+    /// ranks `r ≤ 64` a 64-row block of the right operand is ≤ 32 KiB, so
+    /// it stays cache-hot while every row of a left-operand chunk streams
+    /// over it.
+    const NT_ROWS_BLOCK: usize = 64;
+
+    /// Transposed-right matrix product `self · otherᵀ` for two row-major
+    /// operands sharing an inner dimension (`self.cols == other.cols`).
+    ///
+    /// This is the batched-scoring entry point of the serving layer: with
+    /// `self = W` (one `h ⊙ U¹ᵢ ⊙ U³ₖ` weight vector per row) and
+    /// `other = U²` (POI embeddings), row `b` of the product is the full
+    /// score vector of request `b`. Both operands are read along their
+    /// contiguous rows — no transpose is materialized.
+    ///
+    /// **Bitwise contract:** every output element is exactly
+    /// `kernels::dot(self.row(i), other.row(j))` — the canonical lane-order
+    /// reduction of [`crate::kernels`]. That is the same kernel, with the
+    /// same operand order, as the per-POI scoring loop in
+    /// `TcssModel::scores_for`, so a batched row is **bit-for-bit** equal
+    /// to the per-request score vector. Parallelism splits only the
+    /// *output* grid (rows of `self`, via [`crate::parallel::map_chunks`]),
+    /// never a reduction, so results are thread-count independent.
+    pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("lhs cols == rhs cols ({})", self.cols),
+                got: format!(
+                    "{}x{} * ({}x{})^T",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let n = other.rows;
+        let r = self.cols;
+        let chunks = crate::parallel::map_chunks(self.rows, Self::ROWS_PER_CHUNK, |range| {
+            let mut block = vec![0.0; range.len() * n];
+            // Block over rows of `other` so each ≤ 32 KiB slab of U² is
+            // fetched once per chunk and reused by every request row in
+            // the chunk — the batch-amortization the serving layer buys.
+            let mut jb = 0;
+            while jb < n {
+                let j_hi = (jb + Self::NT_ROWS_BLOCK).min(n);
+                for (bi, i) in range.clone().enumerate() {
+                    let a_row = &self.data[i * r..(i + 1) * r];
+                    let out_row = &mut block[bi * n + jb..bi * n + j_hi];
+                    let b_rows = other.data[jb * r..j_hi * r].chunks_exact(r);
+                    for (out, b_row) in out_row.iter_mut().zip(b_rows) {
+                        *out = crate::kernels::dot(a_row, b_row);
+                    }
+                }
+                jb = j_hi;
+            }
+            block
+        });
+        let mut data = Vec::with_capacity(self.rows * n);
+        for block in chunks {
+            data.extend_from_slice(&block);
+        }
+        Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
+    }
+
     /// Column tile width in [`Self::gram`] (`a`/`b` blocking). At the
     /// training ranks (`r ≤ 10`) the whole Gram fits in a single tile and
     /// the blocking never triggers; it exists to keep the kernel
@@ -664,6 +726,43 @@ mod tests {
             let explicit = a.transpose().matmul(&a).unwrap();
             assert!(g.approx_eq(&explicit, 1e-9), "gram mismatch at {m}x{k}");
         }
+    }
+
+    /// `matmul_nt` must equal `self * other.transpose()` numerically, and
+    /// bit-for-bit equal the per-element lane-order dot it promises —
+    /// across tile boundaries and thread counts.
+    #[test]
+    fn matmul_nt_matches_contract() {
+        for (m, r, n) in [(1usize, 3usize, 2usize), (5, 10, 7), (70, 16, 130)] {
+            let a = Matrix::from_fn(m, r, |i, j| ((i * 13 + j * 37) % 17) as f64 * 0.21 - 1.0);
+            let b = Matrix::from_fn(n, r, |i, j| ((i * 11 + j * 23) % 19) as f64 * 0.17 - 0.8);
+            let explicit = a.matmul(&b.transpose()).unwrap();
+            for threads in [1usize, 2, 4] {
+                crate::parallel::set_num_threads(Some(threads));
+                let c = a.matmul_nt(&b).unwrap();
+                assert_eq!(c.shape(), (m, n));
+                assert!(c.approx_eq(&explicit, 1e-12), "{m}x{r}x{n} t{threads}");
+                for i in 0..m {
+                    for j in 0..n {
+                        assert_eq!(
+                            c.get(i, j).to_bits(),
+                            crate::kernels::dot(a.row(i), b.row(j)).to_bits(),
+                            "({m}x{r}x{n}) element ({i},{j}) at {threads} threads"
+                        );
+                    }
+                }
+            }
+            crate::parallel::set_num_threads(None);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        assert!(a.matmul_nt(&b).is_err());
+        // Same inner dimension works even when row counts differ.
+        assert!(Matrix::zeros(2, 3).matmul_nt(&Matrix::zeros(7, 3)).is_ok());
     }
 
     #[test]

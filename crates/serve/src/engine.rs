@@ -1,0 +1,334 @@
+//! The recommendation-serving engine: batched scoring over a swappable
+//! model with version-keyed caches.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tcss_core::{topn, TcssModel};
+use tcss_linalg::Matrix;
+
+use crate::cache::{VersionedCache, DEFAULT_SHARDS};
+use crate::handle::{ModelHandle, ModelSnapshot};
+use crate::metrics::{MetricsInner, ServingMetrics};
+use crate::{ScoreRequest, ServeError};
+
+/// Scores for one batch: row `b` holds the full `J`-long score vector of
+/// request `b`, produced under `version` of the serving model.
+#[derive(Debug, Clone)]
+pub struct ScoredBatch {
+    /// Model version the batch was scored against.
+    pub version: u64,
+    /// `B × J` score matrix (one row per request, one column per POI).
+    pub scores: Matrix,
+}
+
+/// One served top-`n` answer: `(poi, score)` pairs in ranking order
+/// (descending score, ascending POI on ties), shared with the top-`n`
+/// cache — a hit clones the `Arc`, never the list.
+pub type Ranking = Arc<Vec<(usize, f64)>>;
+
+/// Cache occupancy view (diagnostics/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries in the weight-vector cache (live + stale).
+    pub weight_entries: usize,
+    /// Weight entries tagged with a superseded version (unreachable).
+    pub weight_stale: usize,
+    /// Entries in the top-`n` cache (live + stale).
+    pub topn_entries: usize,
+    /// Top-`n` entries tagged with a superseded version (unreachable).
+    pub topn_stale: usize,
+}
+
+/// High-throughput serving engine around a [`ModelHandle`].
+///
+/// The engine owns three pieces:
+///
+/// 1. **The model handle** — epoch-style snapshot swap with a monotone
+///    version ([`ModelHandle`]). Every batch pins exactly one snapshot.
+/// 2. **Version-keyed caches** — per-`(user, time)` weight vectors
+///    (`h ⊙ U¹ᵢ ⊙ U³ₖ`, the `r`-long vector every request's `J` POI dots
+///    share) and per-`(user, time, n)` top-`n` results. A model swap
+///    invalidates both wholesale via the version bump.
+/// 3. **Batched scoring** — the weight vectors of a batch are packed into
+///    a `B × r` matrix `W` and all `B · J` scores come from one
+///    `W · U²ᵀ` pass through [`Matrix::matmul_nt`], whose per-element
+///    contract (`kernels::dot(w_row, u2_row)`) makes every batch row
+///    **bit-for-bit** equal to [`TcssModel::scores_for`] on the same
+///    snapshot, at any thread count.
+///
+/// All methods take `&self`; the engine is `Sync` and meant to be shared
+/// (`Arc<ServingEngine>`) across request-handling threads.
+#[derive(Debug)]
+pub struct ServingEngine {
+    handle: ModelHandle,
+    weights: VersionedCache<(usize, usize), Vec<f64>>,
+    topn: VersionedCache<(usize, usize, usize), Vec<(usize, f64)>>,
+    metrics: MetricsInner,
+}
+
+impl ServingEngine {
+    /// Engine over `model` with the default cache shard count.
+    pub fn new(model: TcssModel) -> Self {
+        Self::with_shards(model, DEFAULT_SHARDS)
+    }
+
+    /// Engine over `model` with `shards` cache shards (rounded up to a
+    /// power of two; higher counts reduce shard contention under many
+    /// serving threads).
+    pub fn with_shards(model: TcssModel, shards: usize) -> Self {
+        ServingEngine {
+            handle: ModelHandle::new(model),
+            weights: VersionedCache::with_shards(shards),
+            topn: VersionedCache::with_shards(shards),
+            metrics: MetricsInner::default(),
+        }
+    }
+
+    /// Currently published model version.
+    pub fn version(&self) -> u64 {
+        self.handle.version()
+    }
+
+    /// Pin the current model snapshot (see [`ModelHandle::snapshot`]).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.handle.snapshot()
+    }
+
+    /// Publish a new model, returning its version. In-flight batches
+    /// finish on the snapshot they pinned; every cache entry from earlier
+    /// versions becomes unreachable immediately (and can be reclaimed with
+    /// [`ServingEngine::purge_stale`]).
+    pub fn swap_model(&self, model: TcssModel) -> u64 {
+        let version = self.handle.swap(model);
+        MetricsInner::add(&self.metrics.model_swaps, 1);
+        version
+    }
+
+    /// Eagerly reclaim cache entries from superseded versions, returning
+    /// `(weight_entries, topn_entries)` removed.
+    pub fn purge_stale(&self) -> (usize, usize) {
+        let version = self.handle.version();
+        (
+            self.weights.purge_stale(version),
+            self.topn.purge_stale(version),
+        )
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> ServingMetrics {
+        self.metrics.snapshot()
+    }
+
+    /// Cache occupancy (diagnostics/tests).
+    pub fn cache_stats(&self) -> CacheStats {
+        let version = self.handle.version();
+        CacheStats {
+            weight_entries: self.weights.len(),
+            weight_stale: self.weights.stale_len(version),
+            topn_entries: self.topn.len(),
+            topn_stale: self.topn.stale_len(version),
+        }
+    }
+
+    fn check_bounds(snap: &ModelSnapshot, req: &ScoreRequest) -> Result<(), ServeError> {
+        let (n_users, _, n_times) = snap.model.dims();
+        if req.user >= n_users {
+            return Err(ServeError::UserOutOfRange {
+                user: req.user,
+                n_users,
+            });
+        }
+        if req.time >= n_times {
+            return Err(ServeError::TimeOutOfRange {
+                time: req.time,
+                n_times,
+            });
+        }
+        Ok(())
+    }
+
+    /// Pack the batch's weight vectors into `W` (`B × r`, weight cache
+    /// consulted per request) and score everything with one `W · U²ᵀ`.
+    fn score_on(
+        &self,
+        snap: &ModelSnapshot,
+        requests: &[ScoreRequest],
+    ) -> Result<Matrix, ServeError> {
+        let r = snap.model.rank();
+        let t0 = Instant::now();
+        let mut w = Matrix::zeros(requests.len(), r);
+        let mut hits = 0u64;
+        let mut scratch = Vec::with_capacity(r);
+        for (b, req) in requests.iter().enumerate() {
+            Self::check_bounds(snap, req)?;
+            let key = (req.user, req.time);
+            if let Some(cached) = self.weights.get(&key, snap.version) {
+                w.row_mut(b).copy_from_slice(&cached);
+                hits += 1;
+            } else {
+                snap.model
+                    .weight_vector_into(req.user, req.time, &mut scratch);
+                w.row_mut(b).copy_from_slice(&scratch);
+                self.weights
+                    .insert(key, snap.version, Arc::new(scratch.clone()));
+            }
+        }
+        MetricsInner::add(&self.metrics.weight_hits, hits);
+        MetricsInner::add(&self.metrics.weight_misses, requests.len() as u64 - hits);
+        MetricsInner::add(&self.metrics.weight_build_ns, elapsed_ns(t0));
+
+        let t1 = Instant::now();
+        let scores = w
+            .matmul_nt(&snap.model.u2)
+            .expect("weight rows share the model's rank");
+        MetricsInner::add(&self.metrics.score_matmul_ns, elapsed_ns(t1));
+        Ok(scores)
+    }
+
+    /// Score a whole batch: one snapshot pin, one packed `W · U²ᵀ` matmul.
+    ///
+    /// Row `b` of the result is bit-for-bit
+    /// `snapshot.model.scores_for(requests[b].user, requests[b].time)`.
+    pub fn score_batch(&self, requests: &[ScoreRequest]) -> Result<ScoredBatch, ServeError> {
+        let snap = self.handle.snapshot();
+        MetricsInner::add(&self.metrics.requests, requests.len() as u64);
+        MetricsInner::add(&self.metrics.batches, 1);
+        let scores = self.score_on(&snap, requests)?;
+        Ok(ScoredBatch {
+            version: snap.version,
+            scores,
+        })
+    }
+
+    /// Top-`n` recommendations for a whole batch, in request order.
+    ///
+    /// Cached `(user, time, n)` results are returned without scoring;
+    /// the remaining requests are scored as one packed batch and selected
+    /// with the deterministic ranking order of [`tcss_core::topn`]
+    /// (descending score, ascending POI on ties) — so results are
+    /// identical whether they came from the cache, a batch, or
+    /// [`TcssModel::recommend`] on the same snapshot.
+    pub fn recommend_batch(
+        &self,
+        requests: &[ScoreRequest],
+        n: usize,
+    ) -> Result<Vec<Ranking>, ServeError> {
+        let snap = self.handle.snapshot();
+        MetricsInner::add(&self.metrics.requests, requests.len() as u64);
+        MetricsInner::add(&self.metrics.batches, 1);
+
+        let mut out: Vec<Option<Ranking>> = vec![None; requests.len()];
+        let mut missed: Vec<usize> = Vec::new();
+        let mut misses: Vec<ScoreRequest> = Vec::new();
+        for (b, req) in requests.iter().enumerate() {
+            Self::check_bounds(&snap, req)?;
+            let key = (req.user, req.time, n);
+            if let Some(cached) = self.topn.get(&key, snap.version) {
+                out[b] = Some(cached);
+            } else {
+                missed.push(b);
+                misses.push(*req);
+            }
+        }
+        MetricsInner::add(
+            &self.metrics.topn_hits,
+            (requests.len() - missed.len()) as u64,
+        );
+        MetricsInner::add(&self.metrics.topn_misses, missed.len() as u64);
+
+        if !missed.is_empty() {
+            let scores = self.score_on(&snap, &misses)?;
+            let t0 = Instant::now();
+            for (row, &b) in missed.iter().enumerate() {
+                let top = Arc::new(topn::top_n(scores.row(row), n));
+                let req = &requests[b];
+                self.topn
+                    .insert((req.user, req.time, n), snap.version, top.clone());
+                out[b] = Some(top);
+            }
+            MetricsInner::add(&self.metrics.select_ns, elapsed_ns(t0));
+        }
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("every request answered"))
+            .collect())
+    }
+
+    /// Single-request convenience over [`ServingEngine::recommend_batch`].
+    pub fn recommend(&self, user: usize, time: usize, n: usize) -> Result<Ranking, ServeError> {
+        let mut got = self.recommend_batch(&[ScoreRequest { user, time }], n)?;
+        Ok(got.pop().expect("one request, one answer"))
+    }
+}
+
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcss_core::random_init;
+
+    fn engine(seed: u64) -> ServingEngine {
+        let (u1, u2, u3) = random_init((4, 9, 3), 3, seed);
+        ServingEngine::new(TcssModel::new(u1, u2, u3))
+    }
+
+    #[test]
+    fn batch_rows_match_scores_for_bitwise() {
+        let e = engine(11);
+        let snap = e.snapshot();
+        let reqs = [
+            ScoreRequest { user: 0, time: 0 },
+            ScoreRequest { user: 3, time: 2 },
+            ScoreRequest { user: 0, time: 0 }, // duplicate in one batch
+        ];
+        let batch = e.score_batch(&reqs).unwrap();
+        for (b, req) in reqs.iter().enumerate() {
+            let want = snap.model.scores_for(req.user, req.time);
+            let got = batch.scores.row(b);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "request {b}");
+            }
+        }
+        let m = e.metrics();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.weight_hits, 1, "duplicate request reuses the weights");
+        assert_eq!(m.weight_misses, 2);
+    }
+
+    #[test]
+    fn out_of_range_requests_are_typed_errors() {
+        let e = engine(5);
+        let bad_user = e.score_batch(&[ScoreRequest { user: 99, time: 0 }]);
+        assert!(matches!(
+            bad_user,
+            Err(ServeError::UserOutOfRange { user: 99, .. })
+        ));
+        let bad_time = e.recommend(0, 99, 5);
+        assert!(matches!(
+            bad_time,
+            Err(ServeError::TimeOutOfRange { time: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn recommend_batch_serves_cache_hits_identically() {
+        let e = engine(23);
+        let reqs = [
+            ScoreRequest { user: 1, time: 1 },
+            ScoreRequest { user: 2, time: 0 },
+        ];
+        let cold = e.recommend_batch(&reqs, 4).unwrap();
+        let warm = e.recommend_batch(&reqs, 4).unwrap();
+        assert_eq!(cold, warm);
+        let m = e.metrics();
+        assert_eq!(m.topn_misses, 2);
+        assert_eq!(m.topn_hits, 2);
+        // Warm lookups never touched the weight path again.
+        assert_eq!(m.weight_misses, 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Swappable model handle with a monotonically increasing version.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use tcss_core::TcssModel;
+
+/// An immutable model pinned to the version it was published under.
+///
+/// Snapshots are what the serving hot path actually scores against: a
+/// request batch clones one `Arc<ModelSnapshot>` up front and works on it
+/// to completion, so a concurrent [`ModelHandle::swap`] can never tear a
+/// batch (half old factors, half new) — the swap publishes a *new* snapshot
+/// and in-flight batches keep the old one alive until they drop it.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    /// The published model.
+    pub model: TcssModel,
+    /// The version this model was published under (see [`ModelHandle`]).
+    pub version: u64,
+}
+
+/// Epoch-style swappable handle to the serving model.
+///
+/// Design: readers never block on scoring-length critical sections and a
+/// swap never waits for in-flight work.
+///
+/// * [`ModelHandle::snapshot`] pins the current epoch by cloning the inner
+///   `Arc` — the `RwLock` read guard lives only for the duration of that
+///   pointer clone (a few nanoseconds), never across any scoring work.
+/// * [`ModelHandle::version`] is one `Relaxed` atomic load, so the cache
+///   read path validates entries without touching the lock at all.
+/// * [`ModelHandle::swap`] installs a new `Arc` under the write lock and
+///   *then* bumps the version counter. Ordering matters: a cache entry is
+///   only ever stored under the version of the snapshot that produced it,
+///   and entries are valid only while their version equals the current one
+///   — bumping after the install means no window exists where the new
+///   version could validate an entry computed from the old model.
+///
+/// Versions start at 1 and increase by 1 per swap, never repeating, so a
+/// version-keyed cache entry can never be revived by a later swap.
+#[derive(Debug)]
+pub struct ModelHandle {
+    current: RwLock<Arc<ModelSnapshot>>,
+    version: AtomicU64,
+}
+
+impl ModelHandle {
+    /// Wrap an initial model as version 1.
+    pub fn new(model: TcssModel) -> Self {
+        ModelHandle {
+            current: RwLock::new(Arc::new(ModelSnapshot { model, version: 1 })),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// Pin the current snapshot (cheap: one `Arc` clone under a
+    /// momentary read guard).
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The currently published version — one atomic load, no lock.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Publish `model` as the new current snapshot, returning its version.
+    ///
+    /// Every version-keyed cache entry produced from earlier snapshots is
+    /// wholesale-invalidated by the version bump; in-flight batches pinned
+    /// to an older snapshot run to completion on it.
+    pub fn swap(&self, model: TcssModel) -> u64 {
+        let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
+        let version = slot.version + 1;
+        *slot = Arc::new(ModelSnapshot { model, version });
+        // Publish the version only after the snapshot is installed (see
+        // the type docs for why this order keeps caches consistent).
+        self.version.store(version, Ordering::Release);
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcss_linalg::Matrix;
+
+    fn model(fill: f64) -> TcssModel {
+        TcssModel::new(
+            Matrix::filled(2, 2, fill),
+            Matrix::filled(3, 2, fill),
+            Matrix::filled(2, 2, fill),
+        )
+    }
+
+    #[test]
+    fn swap_bumps_version_and_publishes() {
+        let h = ModelHandle::new(model(1.0));
+        assert_eq!(h.version(), 1);
+        assert_eq!(h.snapshot().version, 1);
+        let pinned = h.snapshot();
+        assert_eq!(h.swap(model(2.0)), 2);
+        assert_eq!(h.version(), 2);
+        assert_eq!(h.snapshot().model.u1.get(0, 0), 2.0);
+        // The pre-swap pin still sees the old model, untouched.
+        assert_eq!(pinned.version, 1);
+        assert_eq!(pinned.model.u1.get(0, 0), 1.0);
+    }
+}

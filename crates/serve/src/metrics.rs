@@ -1,0 +1,111 @@
+//! Serving metrics: monotone atomic counters, read as a plain snapshot.
+//!
+//! Counters use `Relaxed` ordering throughout — they are statistics, not
+//! synchronization; each counter is independently monotone and a snapshot
+//! taken while traffic is in flight is a consistent-enough view for
+//! dashboards and the bench harness. Latency sums are nanosecond totals
+//! per pipeline stage; divide by the matching counter for a mean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal counter block owned by the engine.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsInner {
+    pub requests: AtomicU64,
+    pub batches: AtomicU64,
+    pub weight_hits: AtomicU64,
+    pub weight_misses: AtomicU64,
+    pub topn_hits: AtomicU64,
+    pub topn_misses: AtomicU64,
+    pub model_swaps: AtomicU64,
+    pub weight_build_ns: AtomicU64,
+    pub score_matmul_ns: AtomicU64,
+    pub select_ns: AtomicU64,
+}
+
+impl MetricsInner {
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ServingMetrics {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServingMetrics {
+            requests: get(&self.requests),
+            batches: get(&self.batches),
+            weight_hits: get(&self.weight_hits),
+            weight_misses: get(&self.weight_misses),
+            topn_hits: get(&self.topn_hits),
+            topn_misses: get(&self.topn_misses),
+            model_swaps: get(&self.model_swaps),
+            weight_build_ns: get(&self.weight_build_ns),
+            score_matmul_ns: get(&self.score_matmul_ns),
+            select_ns: get(&self.select_ns),
+        }
+    }
+}
+
+/// Point-in-time view of the engine's counters (plain data, freely
+/// copyable and serializable by hand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingMetrics {
+    /// Requests scored or answered from cache, across all batches.
+    pub requests: u64,
+    /// Batch calls served (single-request convenience calls count 1).
+    pub batches: u64,
+    /// Weight-vector cache hits.
+    pub weight_hits: u64,
+    /// Weight-vector cache misses (vector recomputed and cached).
+    pub weight_misses: u64,
+    /// Top-`n` result cache hits.
+    pub topn_hits: u64,
+    /// Top-`n` result cache misses (scored, selected and cached).
+    pub topn_misses: u64,
+    /// Models published via swap (the initial model counts 0).
+    pub model_swaps: u64,
+    /// Total nanoseconds building / fetching weight vectors.
+    pub weight_build_ns: u64,
+    /// Total nanoseconds in the batched `W · U²ᵀ` score matmul.
+    pub score_matmul_ns: u64,
+    /// Total nanoseconds in top-`n` selection.
+    pub select_ns: u64,
+}
+
+impl ServingMetrics {
+    /// Weight-cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn weight_hit_rate(&self) -> f64 {
+        hit_rate(self.weight_hits, self.weight_misses)
+    }
+
+    /// Top-`n` cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn topn_hit_rate(&self) -> f64 {
+        hit_rate(self.topn_hits, self.topn_misses)
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates_handle_empty_and_mixed() {
+        let mut m = ServingMetrics::default();
+        assert_eq!(m.weight_hit_rate(), 0.0);
+        m.weight_hits = 3;
+        m.weight_misses = 1;
+        assert!((m.weight_hit_rate() - 0.75).abs() < 1e-12);
+        m.topn_hits = 1;
+        m.topn_misses = 3;
+        assert!((m.topn_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

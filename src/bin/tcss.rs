@@ -4,6 +4,7 @@
 //! tcss generate --preset gowalla --out data/gowalla     # write CSV dataset
 //! tcss train    --data data/gowalla --model m.tcss      # train, save model
 //! tcss recommend --data data/gowalla --model m.tcss --user 7 --month 5
+//! tcss recommend-batch --data data/gowalla --model m.tcss --requests 7:5,3:1 --top 5
 //! tcss evaluate --data data/gowalla --model m.tcss      # Hit@10 / MRR
 //! ```
 //!
@@ -34,6 +35,7 @@ const USAGE: &str = "usage:
   tcss train     --data <stem> --model <file> [--epochs N] [--rank R] [--lambda L] [--seed S]
                  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume] [--lenient]
   tcss recommend --data <stem> --model <file> --user U --month M [--top N]
+  tcss recommend-batch --data <stem> --model <file> --requests <U:M,U:M,...> [--top N]
   tcss evaluate  --data <stem> --model <file> [--test-fraction F]
 
 <stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.
@@ -69,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => cmd_generate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("recommend") => cmd_recommend(&args[1..]),
+        Some("recommend-batch") => cmd_recommend_batch(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
@@ -235,6 +238,67 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
             p.location.lat
         );
     }
+    Ok(())
+}
+
+/// `--requests 7:5,3:1,7:5` → `[{user 7, month 5}, {user 3, month 1}, ...]`.
+fn parse_requests(spec: &str) -> Result<Vec<ScoreRequest>, String> {
+    spec.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (u, m) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad request {part:?}: expected <user>:<month>"))?;
+            Ok(ScoreRequest {
+                user: parse(u, "request user")?,
+                time: parse(m, "request month")?,
+            })
+        })
+        .collect()
+}
+
+fn cmd_recommend_batch(args: &[String]) -> Result<(), String> {
+    let data = load(req(args, "--data")?)?;
+    let model = load_model_checked(req(args, "--model")?, &data)?;
+    let requests = parse_requests(req(args, "--requests")?)?;
+    if requests.is_empty() {
+        return Err("--requests needs at least one <user>:<month> pair".into());
+    }
+    let top: usize = match opt(args, "--top") {
+        Some(v) => parse(v, "--top")?,
+        None => 10,
+    };
+    let engine = ServingEngine::new(model);
+    let results = engine
+        .recommend_batch(&requests, top)
+        .map_err(|e| format!("scoring batch: {e}"))?;
+    for (q, ranked) in requests.iter().zip(&results) {
+        println!("user {} month {}:", q.user, q.time);
+        for (rank, (poi, score)) in ranked.iter().enumerate() {
+            println!(
+                "{:>3}. poi {poi:>5}  [{}]  score {score:.4}",
+                rank + 1,
+                data.pois[*poi].category.label()
+            );
+        }
+    }
+    let m = engine.metrics();
+    let stats = engine.cache_stats();
+    println!(
+        "served {} request(s) in {} batch(es) under model version {}",
+        m.requests,
+        m.batches,
+        engine.version()
+    );
+    println!(
+        "caches: {} weight / {} top-n entries; weight hits {} misses {}, top-n hits {} misses {}",
+        stats.weight_entries,
+        stats.topn_entries,
+        m.weight_hits,
+        m.weight_misses,
+        m.topn_hits,
+        m.topn_misses
+    );
     Ok(())
 }
 

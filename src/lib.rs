@@ -39,6 +39,7 @@ pub use tcss_eval as eval;
 pub use tcss_geo as geo;
 pub use tcss_graph as graph;
 pub use tcss_linalg as linalg;
+pub use tcss_serve as serve;
 pub use tcss_sparse as sparse;
 
 /// The most common imports in one place.
@@ -53,5 +54,6 @@ pub mod prelude {
     pub use tcss_eval::{evaluate_ranking, EvalConfig, RankingMetrics};
     pub use tcss_geo::GeoPoint;
     pub use tcss_graph::SocialGraph;
+    pub use tcss_serve::{ScoreRequest, ServingEngine};
     pub use tcss_sparse::SparseTensor3;
 }

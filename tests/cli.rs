@@ -80,6 +80,75 @@ fn full_cli_roundtrip() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.matches("poi ").count(), 3, "{stdout}");
 
+    // recommend-batch: three requests, one a duplicate — the duplicate's
+    // weight vector must come from the serving cache.
+    let out = bin()
+        .args([
+            "recommend-batch",
+            "--requests",
+            "0:5,1:2,0:5",
+            "--top",
+            "3",
+            "--data",
+        ])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run recommend-batch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("poi ").count(), 9, "{stdout}");
+    assert!(stdout.contains("user 0 month 5:"), "{stdout}");
+    assert!(stdout.contains("user 1 month 2:"), "{stdout}");
+    assert!(
+        stdout.contains("served 3 request(s) in 1 batch(es) under model version 1"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("weight hits 1 misses 2"), "{stdout}");
+
+    // recommend-batch must match per-request recommend for the same query.
+    let single = bin()
+        .args([
+            "recommend",
+            "--user",
+            "0",
+            "--month",
+            "5",
+            "--top",
+            "3",
+            "--data",
+        ])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run recommend");
+    let single_stdout = String::from_utf8_lossy(&single.stdout);
+    for line in single_stdout.lines().filter(|l| l.contains("score ")) {
+        let score = line.rsplit("score ").next().unwrap();
+        assert!(stdout.contains(score), "batch output missing {score:?}");
+    }
+
+    // malformed request specs are rejected before any scoring
+    let out = bin()
+        .args(["recommend-batch", "--requests", "0-5", "--data"])
+        .arg(&stem)
+        .arg("--model")
+        .arg(&model)
+        .output()
+        .expect("run recommend-batch");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("expected <user>:<month>"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
     // evaluate
     let out = bin()
         .args(["evaluate", "--data"])
