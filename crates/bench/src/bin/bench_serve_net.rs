@@ -1,0 +1,430 @@
+//! Wire-serving load generator: tail latency and shed rate at controlled
+//! offered loads over loopback.
+//!
+//! Emits `BENCH_serve_net.json` into the current directory.
+//!
+//! Two phases:
+//!
+//! 1. **Parity** — at 1/2/4 server worker threads, every wire response is
+//!    checked **bitwise** against in-process `TcssModel::recommend` for
+//!    the same `(user, time, n)`. The run aborts on any mismatch; the
+//!    result is recorded as `"parity_bitwise"` in the JSON.
+//! 2. **Load sweep** — a closed-loop calibration pass measures the
+//!    maximum sustainable throughput, then open-loop runs offer fixed
+//!    fractions of it (including one deliberately past saturation so the
+//!    admission gate sheds). Each connection is a send/recv thread pair:
+//!    the sender paces requests at the offered interval and queues send
+//!    timestamps; the receiver matches responses FIFO (the server
+//!    preserves per-connection order) and records end-to-end latency into
+//!    the same log-bucketed [`LatencyHistogram`] the server uses, so
+//!    p50/p99/p999 come from real per-request samples. `Overloaded`
+//!    responses count as shed, not as latency samples.
+//!
+//! `TCSS_BENCH_SMOKE=1` shrinks the fixture and run lengths to CI-smoke
+//! sizes: the run finishes in seconds and only the JSON shape is
+//! meaningful.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tcss_core::{random_init, TcssModel};
+use tcss_serve::net::{
+    frame, proto, NetClient, NetServer, Request, RequestBody, ResponseBody, ServerConfig,
+};
+use tcss_serve::{HistogramSnapshot, LatencyHistogram, ServingEngine};
+
+const TOP_N: u32 = 10;
+const PARITY_THREADS: [usize; 3] = [1, 2, 4];
+/// Worker threads for the load sweep.
+const SWEEP_THREADS: usize = 2;
+/// Offered load as fractions of the calibrated maximum; the last level is
+/// past saturation so the shed path is exercised under real load.
+const LOAD_LEVELS: [f64; 4] = [0.25, 0.50, 0.80, 1.50];
+const CONNS: usize = 4;
+
+struct Fixture {
+    name: String,
+    model: TcssModel,
+    queue_depth: usize,
+    /// Closed-loop calibration requests per connection.
+    calibrate_per_conn: usize,
+    /// Open-loop run duration per load level.
+    run_secs: f64,
+    /// Parity sample size (distinct `(user, time)` pairs).
+    parity_pairs: usize,
+}
+
+fn fixture(smoke: bool) -> Fixture {
+    let (dims, rank) = if smoke {
+        ((20usize, 90usize, 6usize), 4usize)
+    } else {
+        ((200, 1500, 12), 8)
+    };
+    let (u1, u2, u3) = random_init(dims, rank, 2027);
+    Fixture {
+        name: format!(
+            "synth-{}x{}x{}-r{rank}{}",
+            dims.0,
+            dims.1,
+            dims.2,
+            if smoke { "-smoke" } else { "" }
+        ),
+        model: TcssModel::new(u1, u2, u3),
+        queue_depth: if smoke { 32 } else { 256 },
+        calibrate_per_conn: if smoke { 300 } else { 2500 },
+        run_secs: if smoke { 0.3 } else { 2.0 },
+        parity_pairs: if smoke { 40 } else { 200 },
+    }
+}
+
+fn start_server(fx: &Fixture, workers: usize) -> tcss_serve::net::ServerHandle {
+    let engine = Arc::new(ServingEngine::new(fx.model.clone()));
+    NetServer::start(
+        engine,
+        ServerConfig {
+            workers,
+            queue_depth: fx.queue_depth,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+/// Every wire response bitwise-equal to in-process `recommend` at this
+/// worker count. Aborts on mismatch.
+fn assert_parity(fx: &Fixture, workers: usize) {
+    let (i_dim, _, k_dim) = fx.model.dims();
+    let handle = start_server(fx, workers);
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for p in 0..fx.parity_pairs {
+        let q = (p * 61) % (i_dim * k_dim);
+        let (user, time) = (q / k_dim, q % k_dim);
+        let resp = client
+            .recommend(user as u64, time as u64, TOP_N)
+            .expect("parity request");
+        match &resp.body {
+            ResponseBody::Ranking { items, .. } => {
+                let want = fx.model.recommend(user, time, TOP_N as usize);
+                assert_eq!(items.len(), want.len(), "length at {workers} workers");
+                for (j, ((gp, gs), (wp, ws))) in items.iter().zip(&want).enumerate() {
+                    assert_eq!(*gp, *wp as u64, "poi rank {j} at {workers} workers");
+                    assert_eq!(
+                        gs.to_bits(),
+                        ws.to_bits(),
+                        "parity violation: ({user},{time}) rank {j} at {workers} workers"
+                    );
+                }
+            }
+            other => panic!("expected ranking, got {other:?}"),
+        }
+    }
+}
+
+/// Windowed closed loop on one connection: keep `window` requests in
+/// flight, send a new one per response. With `CONNS * window` below the
+/// admission depth nothing sheds, so the aggregate rate is the server's
+/// sustainable *serving* throughput — the right yardstick for the
+/// offered-load sweep (a flood-everything loop would measure how fast
+/// the gate can say `Overloaded` instead).
+fn calibrate_conn(
+    addr: std::net::SocketAddr,
+    conn_id: usize,
+    per_conn: usize,
+    window: usize,
+    dims: (usize, usize, usize),
+) -> u64 {
+    let (i_dim, _, k_dim) = dims;
+    let mut client = NetClient::connect(addr).expect("connect");
+    let pair = |r: usize| {
+        let q = (conn_id + r * 7) % (i_dim * k_dim);
+        ((q / k_dim) as u64, (q % k_dim) as u64)
+    };
+    let mut sent = 0usize;
+    while sent < window.min(per_conn) {
+        let (user, time) = pair(sent);
+        client.send_recommend(user, time, TOP_N).expect("send");
+        sent += 1;
+    }
+    let mut ok = 0u64;
+    for _ in 0..per_conn {
+        let resp = client.read_response().expect("response");
+        if matches!(resp.body, ResponseBody::Ranking { .. }) {
+            ok += 1;
+        }
+        if sent < per_conn {
+            let (user, time) = pair(sent);
+            client.send_recommend(user, time, TOP_N).expect("send");
+            sent += 1;
+        }
+    }
+    ok
+}
+
+struct ConnStats {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    latency: HistogramSnapshot,
+}
+
+/// One connection's open-loop run: a sender pacing `per_conn` requests at
+/// `interval`, a receiver matching responses FIFO and recording latency.
+/// `interval == None` means closed-loop (send as fast as the socket
+/// accepts) — used for calibration.
+fn run_conn(
+    addr: std::net::SocketAddr,
+    conn_id: usize,
+    per_conn: usize,
+    interval: Option<Duration>,
+    dims: (usize, usize, usize),
+) -> ConnStats {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut write_half = stream.try_clone().expect("clone stream");
+    let (ts_tx, ts_rx) = mpsc::channel::<Instant>();
+
+    let sender = std::thread::spawn(move || {
+        let (i_dim, _, k_dim) = dims;
+        let start = Instant::now();
+        let mut next = start;
+        for r in 0..per_conn {
+            if let Some(iv) = interval {
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                }
+                next += iv;
+            }
+            let q = (conn_id + r * 7) % (i_dim * k_dim);
+            let payload = proto::encode_request(&Request {
+                id: r as u64 + 1,
+                body: RequestBody::Recommend {
+                    user: (q / k_dim) as u64,
+                    time: (q % k_dim) as u64,
+                    n: TOP_N,
+                },
+            });
+            ts_tx.send(Instant::now()).expect("receiver alive");
+            write_half
+                .write_all(&frame::encode_frame(&payload))
+                .expect("send");
+        }
+        per_conn as u64
+    });
+
+    // Receiver: this thread. FIFO timestamp matching is sound because the
+    // server writes responses in per-connection decode order.
+    let mut decoder = frame::FrameDecoder::new(tcss_serve::net::DEFAULT_MAX_FRAME_LEN);
+    let hist = LatencyHistogram::new();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let mut buf = [0u8; 16 * 1024];
+    let mut received = 0usize;
+    use std::io::Read;
+    let mut read_half = stream;
+    while received < per_conn {
+        match decoder.next_frame().expect("well-framed server") {
+            Some(payload) => {
+                let resp = proto::decode_response(&payload).expect("well-formed server");
+                let sent_at = ts_rx.recv().expect("one timestamp per response");
+                received += 1;
+                match resp.body {
+                    ResponseBody::Ranking { .. } => {
+                        hist.record(sent_at.elapsed().as_nanos() as u64);
+                        ok += 1;
+                    }
+                    ResponseBody::Overloaded { .. } => shed += 1,
+                    _ => errors += 1,
+                }
+            }
+            None => {
+                let n = read_half.read(&mut buf).expect("read");
+                assert!(n > 0, "server closed mid-run");
+                decoder.push(&buf[..n]);
+            }
+        }
+    }
+    let sent = sender.join().expect("sender thread");
+    ConnStats {
+        sent,
+        ok,
+        shed,
+        errors,
+        latency: hist.snapshot(),
+    }
+}
+
+struct RunResult {
+    offered_rps: f64,
+    achieved_rps: f64,
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    latency: HistogramSnapshot,
+}
+
+/// Drive `per_conn` requests on each of `CONNS` connections, open-loop at
+/// `offered_rps` aggregate.
+fn run_load(fx: &Fixture, addr: std::net::SocketAddr, per_conn: usize, offered: f64) -> RunResult {
+    let dims = fx.model.dims();
+    let interval = Some(Duration::from_nanos((1e9 * CONNS as f64 / offered) as u64));
+    let t0 = Instant::now();
+    let conns: Vec<_> = (0..CONNS)
+        .map(|c| std::thread::spawn(move || run_conn(addr, c, per_conn, interval, dims)))
+        .collect();
+    let mut sent = 0;
+    let mut ok = 0;
+    let mut shed = 0;
+    let mut errors = 0;
+    let mut latency = HistogramSnapshot::default();
+    for conn in conns {
+        let stats = conn.join().expect("connection pair");
+        sent += stats.sent;
+        ok += stats.ok;
+        shed += stats.shed;
+        errors += stats.errors;
+        latency.merge(&stats.latency);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    RunResult {
+        offered_rps: offered,
+        achieved_rps: (ok + shed + errors) as f64 / elapsed.max(1e-9),
+        sent,
+        ok,
+        shed,
+        errors,
+        latency,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("TCSS_BENCH_SMOKE").is_ok();
+    let fx = fixture(smoke);
+    let (i_dim, j_dim, k_dim) = fx.model.dims();
+    println!(
+        "serve_net fixture: {} users × {} POIs × {} slots, queue depth {}, \
+         {} connections",
+        i_dim, j_dim, k_dim, fx.queue_depth, CONNS
+    );
+
+    for workers in PARITY_THREADS {
+        assert_parity(&fx, workers);
+    }
+    println!(
+        "parity: wire responses bitwise equal to in-process recommend at \
+         {PARITY_THREADS:?} worker threads"
+    );
+
+    // One server for the whole sweep, as in production: caches warm over
+    // the sweep the way they would under sustained traffic.
+    let handle = start_server(&fx, SWEEP_THREADS);
+    let addr = handle.addr();
+
+    // Warm the version-keyed caches over every (user, time) pair first:
+    // the sweep revisits the same key space, so steady state is warm, and
+    // calibrating cold would understate capacity enough that the "past
+    // saturation" level never actually saturates.
+    {
+        let mut warm = NetClient::connect(addr).expect("connect");
+        for q in 0..i_dim * k_dim {
+            warm.recommend((q / k_dim) as u64, (q % k_dim) as u64, TOP_N)
+                .expect("warmup");
+        }
+    }
+
+    // Windowed closed-loop calibration: sustainable serving throughput.
+    let window = (fx.queue_depth / (2 * CONNS)).max(1);
+    let per_conn = fx.calibrate_per_conn;
+    let t0 = Instant::now();
+    let cal_conns: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let dims = fx.model.dims();
+            std::thread::spawn(move || calibrate_conn(addr, c, per_conn, window, dims))
+        })
+        .collect();
+    let cal_ok: u64 = cal_conns
+        .into_iter()
+        .map(|t| t.join().expect("calib"))
+        .sum();
+    let max_rps = cal_ok as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "calibration: {max_rps:.0} req/s sustained closed-loop \
+         ({cal_ok}/{} ok, window {window}/conn)",
+        (CONNS * per_conn) as u64
+    );
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    for level in LOAD_LEVELS {
+        let offered = max_rps * level;
+        let per_conn = ((offered * fx.run_secs / CONNS as f64).ceil() as usize).max(50);
+        let run = run_load(&fx, addr, per_conn, offered);
+        let shed_rate = run.shed as f64 / run.sent.max(1) as f64;
+        println!(
+            "offered {:>9.0} req/s ({:>4.0}%)  achieved {:>9.0}  ok {:>7}  \
+             shed {:>6} ({:>5.3})  p50 {:>9} ns  p99 {:>9} ns  p999 {:>9} ns",
+            offered,
+            level * 100.0,
+            run.achieved_rps,
+            run.ok,
+            run.shed,
+            shed_rate,
+            run.latency.p50(),
+            run.latency.p99(),
+            run.latency.p999()
+        );
+        runs.push(run);
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.errors, 0, "no typed request errors under in-range load");
+    assert_eq!(m.protocol_errors, 0, "no protocol errors under the sweep");
+    println!(
+        "server totals: {} requests, {} ok, {} shed, server-side p99 {} ns",
+        m.requests,
+        m.ok,
+        m.overloaded,
+        m.request_ns.p99()
+    );
+
+    // --- JSON -------------------------------------------------------------
+    let mut json = String::from("{\n  \"group\": \"serve_net\",\n");
+    json.push_str(&format!("  \"fixture\": \"{}\",\n", fx.name));
+    json.push_str(&format!(
+        "  \"top_n\": {TOP_N},\n  \"connections\": {CONNS},\n  \
+         \"queue_depth\": {},\n  \"sweep_workers\": {SWEEP_THREADS},\n  \
+         \"parity_threads\": [1, 2, 4],\n  \"parity_bitwise\": true,\n  \
+         \"calibrated_max_rps\": {:.1},\n",
+        fx.queue_depth, max_rps
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (idx, r) in runs.iter().enumerate() {
+        let sep = if idx + 1 == runs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"server_threads\": {SWEEP_THREADS}, \"offered_rps\": {:.1}, \
+             \"achieved_rps\": {:.1}, \"sent\": {}, \"ok\": {}, \"shed\": {}, \
+             \"errors\": {}, \"shed_rate\": {:.5}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {:.1}}}{sep}\n",
+            r.offered_rps,
+            r.achieved_rps,
+            r.sent,
+            r.ok,
+            r.shed,
+            r.errors,
+            r.shed as f64 / r.sent.max(1) as f64,
+            r.latency.p50(),
+            r.latency.p99(),
+            r.latency.p999(),
+            r.latency.mean()
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve_net.json", json).expect("write BENCH_serve_net.json");
+    println!("wrote BENCH_serve_net.json");
+}

@@ -9,7 +9,7 @@ use tcss_linalg::Matrix;
 
 use crate::cache::{VersionedCache, DEFAULT_SHARDS};
 use crate::handle::{ModelHandle, ModelSnapshot};
-use crate::metrics::{MetricsInner, ServingMetrics};
+use crate::metrics::{MetricsInner, ServingMetrics, StageHistograms};
 use crate::{ScoreRequest, ServeError};
 
 /// Scores for one batch: row `b` holds the full `J`-long score vector of
@@ -120,6 +120,20 @@ impl ServingEngine {
         self.metrics.snapshot()
     }
 
+    /// Snapshot **and reset** counters and stage histograms. Per-cell
+    /// atomic swaps make this race-free under concurrent recorders: every
+    /// increment and latency sample lands in exactly one taken snapshot
+    /// (none lost, none doubled) — the scrape pattern for dashboards.
+    pub fn take_metrics(&self) -> (ServingMetrics, StageHistograms) {
+        self.metrics.take()
+    }
+
+    /// Per-stage latency histograms (p50/p99/p999 via
+    /// [`crate::hist::HistogramSnapshot`]); recorders keep going.
+    pub fn stage_histograms(&self) -> StageHistograms {
+        self.metrics.stage_histograms()
+    }
+
     /// Cache occupancy (diagnostics/tests).
     pub fn cache_stats(&self) -> CacheStats {
         let version = self.handle.version();
@@ -176,13 +190,13 @@ impl ServingEngine {
         }
         MetricsInner::add(&self.metrics.weight_hits, hits);
         MetricsInner::add(&self.metrics.weight_misses, requests.len() as u64 - hits);
-        MetricsInner::add(&self.metrics.weight_build_ns, elapsed_ns(t0));
+        self.metrics.weight_build.record(elapsed_ns(t0));
 
         let t1 = Instant::now();
         let scores = w
             .matmul_nt(&snap.model.u2)
             .expect("weight rows share the model's rank");
-        MetricsInner::add(&self.metrics.score_matmul_ns, elapsed_ns(t1));
+        self.metrics.score_matmul.record(elapsed_ns(t1));
         Ok(scores)
     }
 
@@ -214,45 +228,68 @@ impl ServingEngine {
         requests: &[ScoreRequest],
         n: usize,
     ) -> Result<Vec<Ranking>, ServeError> {
+        let (_, results) = self.recommend_batch_pinned(requests, n);
+        results.into_iter().collect()
+    }
+
+    /// Per-request fallible variant of [`ServingEngine::recommend_batch`]
+    /// that also reports the model version the batch was pinned to.
+    ///
+    /// This is the shape the wire front end needs: one out-of-range
+    /// request in a pipelined burst must become a typed error *response*
+    /// for that request alone, while the in-range rest are still scored as
+    /// one packed batch — and every response must carry the version of the
+    /// snapshot that produced it so swap-under-load behaviour is
+    /// observable (and testable) end to end.
+    pub fn recommend_batch_pinned(
+        &self,
+        requests: &[ScoreRequest],
+        n: usize,
+    ) -> (u64, Vec<Result<Ranking, ServeError>>) {
         let snap = self.handle.snapshot();
         MetricsInner::add(&self.metrics.requests, requests.len() as u64);
         MetricsInner::add(&self.metrics.batches, 1);
 
-        let mut out: Vec<Option<Ranking>> = vec![None; requests.len()];
+        let mut out: Vec<Option<Result<Ranking, ServeError>>> = vec![None; requests.len()];
         let mut missed: Vec<usize> = Vec::new();
         let mut misses: Vec<ScoreRequest> = Vec::new();
+        let mut hits = 0u64;
         for (b, req) in requests.iter().enumerate() {
-            Self::check_bounds(&snap, req)?;
+            if let Err(e) = Self::check_bounds(&snap, req) {
+                out[b] = Some(Err(e));
+                continue;
+            }
             let key = (req.user, req.time, n);
             if let Some(cached) = self.topn.get(&key, snap.version) {
-                out[b] = Some(cached);
+                out[b] = Some(Ok(cached));
+                hits += 1;
             } else {
                 missed.push(b);
                 misses.push(*req);
             }
         }
-        MetricsInner::add(
-            &self.metrics.topn_hits,
-            (requests.len() - missed.len()) as u64,
-        );
+        MetricsInner::add(&self.metrics.topn_hits, hits);
         MetricsInner::add(&self.metrics.topn_misses, missed.len() as u64);
 
         if !missed.is_empty() {
-            let scores = self.score_on(&snap, &misses)?;
+            let scores = self
+                .score_on(&snap, &misses)
+                .expect("bounds were checked before batching");
             let t0 = Instant::now();
             for (row, &b) in missed.iter().enumerate() {
                 let top = Arc::new(topn::top_n(scores.row(row), n));
                 let req = &requests[b];
                 self.topn
                     .insert((req.user, req.time, n), snap.version, top.clone());
-                out[b] = Some(top);
+                out[b] = Some(Ok(top));
             }
-            MetricsInner::add(&self.metrics.select_ns, elapsed_ns(t0));
+            self.metrics.select.record(elapsed_ns(t0));
         }
-        Ok(out
+        let results = out
             .into_iter()
             .map(|v| v.expect("every request answered"))
-            .collect())
+            .collect();
+        (snap.version, results)
     }
 
     /// Single-request convenience over [`ServingEngine::recommend_batch`].

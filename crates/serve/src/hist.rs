@@ -1,0 +1,258 @@
+//! Log-bucketed latency histograms with lock-free recording.
+//!
+//! [`LatencyHistogram`] is the serving layer's answer to "p99, not mean":
+//! a fixed array of atomic counters whose bucket boundaries grow
+//! geometrically, HdrHistogram-style. Values (nanoseconds, but any `u64`
+//! works) are split into a power-of-two *group* and [`SUB_BUCKETS`] linear
+//! sub-buckets inside it, so every bucket's width is at most
+//! `1/SUB_BUCKETS` (6.25%) of its lower bound — quantile reads are exact
+//! to within one bucket at every magnitude from nanoseconds to minutes.
+//!
+//! Recording is one `fetch_add` on the bucket plus one on the running sum
+//! (`Relaxed`; counters are statistics, not synchronization).
+//! [`LatencyHistogram::snapshot_and_reset`] swaps every bucket to zero
+//! atomically *per bucket*: concurrent recorders never lose a sample —
+//! each landed `record` shows up in exactly one snapshot — which is the
+//! property the metrics-reset race test pins down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two group (`2^SUB_BITS`).
+pub const SUB_BITS: u32 = 4;
+/// Sub-bucket count; also the value below which buckets are exact.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count: groups cover the full `u64` range.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index of `value`: identity below [`SUB_BUCKETS`], then
+/// geometric groups of [`SUB_BUCKETS`] linear buckets.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let top = 63 - value.leading_zeros(); // >= SUB_BITS
+    let group = (top - SUB_BITS + 1) as usize;
+    let sub = ((value >> (top - SUB_BITS)) as usize) & (SUB_BUCKETS - 1);
+    group * SUB_BUCKETS + sub
+}
+
+/// Inclusive `(low, high)` value range of bucket `index` — the inverse of
+/// [`bucket_index`]: every `v` with `bucket_index(v) == index` lies inside.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    let group = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if group == 0 {
+        return (index as u64, index as u64);
+    }
+    let low = (SUB_BUCKETS as u64 + sub) << (group - 1);
+    let width = 1u64 << (group - 1);
+    (low, low.saturating_add(width - 1))
+}
+
+/// Fixed-size log-bucketed histogram with atomic counters.
+///
+/// All methods take `&self`; the histogram is meant to be shared across
+/// recording threads (it lives inside the engine / server metrics blocks).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        // `[AtomicU64; BUCKETS]` has no const Default at this size; build
+        // through a Vec once at construction time.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .expect("BUCKETS-long vector");
+        LatencyHistogram {
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value (typically nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters (recorders keep going).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        for (c, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *c = b.load(Ordering::Relaxed);
+            count += *c;
+        }
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Atomically drain the histogram: every bucket is `swap(0)`-ed, so
+    /// each recorded sample appears in exactly one snapshot even while
+    /// recorders are running — counts are conserved across concurrent
+    /// snapshot/reset and record calls (no lost or doubled samples).
+    pub fn snapshot_and_reset(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        for (c, b) in counts.iter_mut().zip(self.buckets.iter()) {
+            *c = b.swap(0, Ordering::Relaxed);
+            count += *c;
+        }
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data view of a [`LatencyHistogram`] at one point in time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`BUCKETS` long; empty for `Default`).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all recorded values (for means; quantiles use the buckets).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`; 0 on an empty histogram). Reported as the
+    /// bucket's *high* edge, i.e. a conservative "at most" latency that is
+    /// within one bucket (≤ 6.25% relative) of the exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_range(i).1;
+            }
+        }
+        bucket_range(BUCKETS - 1).1
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Mean of the recorded values (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other`'s samples into `self` (for aggregating per-connection
+    /// client histograms in the load generator).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_range_are_inverse() {
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12345]) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} idx={i} range=({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_relative() {
+        for i in SUB_BUCKETS..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert!(
+                hi - lo <= lo / SUB_BUCKETS as u64,
+                "bucket {i}: ({lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_values() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        // Exact p50 is 500; the answer must land in a bucket adjacent to it.
+        let p50 = s.p50();
+        let d = bucket_index(p50).abs_diff(bucket_index(500));
+        assert!(d <= 1, "p50={p50}");
+        let p999 = s.p999();
+        let d = bucket_index(p999).abs_diff(bucket_index(1000));
+        assert!(d <= 1, "p999={p999}");
+    }
+
+    #[test]
+    fn reset_drains_everything_once() {
+        let h = LatencyHistogram::new();
+        h.record(7);
+        h.record(70_000);
+        let first = h.snapshot_and_reset();
+        assert_eq!(first.count, 2);
+        assert_eq!(first.sum, 70_007);
+        let second = h.snapshot_and_reset();
+        assert_eq!(second.count, 0);
+        assert_eq!(second.sum, 0);
+    }
+}

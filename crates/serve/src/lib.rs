@@ -27,8 +27,15 @@
 //! * **Top-`n` selection** — `O(J)` partial selection with the
 //!   deterministic ranking order of [`tcss_core::topn`] (descending
 //!   score, ascending POI on ties), replacing the full sort.
-//! * **Metrics** ([`ServingMetrics`]) — cache hit/miss counters, per-stage
-//!   latency sums and request counts as a plain snapshot struct.
+//! * **Metrics** ([`ServingMetrics`]) — cache hit/miss counters and
+//!   request counts as a plain snapshot struct, with per-stage latencies
+//!   recorded into log-bucketed histograms ([`LatencyHistogram`]) for
+//!   real p50/p99/p999 reads and race-free snapshot-and-reset scrapes.
+//! * **Wire protocol** ([`net`], Unix only) — a from-scratch `poll(2)`
+//!   readiness-loop server (no tokio) speaking a length-prefixed binary
+//!   protocol over [`ServingEngine`], with deterministic `Overloaded`
+//!   load shedding and graceful model swap under load; wire responses
+//!   are bitwise-identical to in-process `recommend` calls.
 //!
 //! ```no_run
 //! use tcss_serve::{ScoreRequest, ServingEngine};
@@ -54,12 +61,16 @@
 pub mod cache;
 pub mod engine;
 pub mod handle;
+pub mod hist;
 pub mod metrics;
+#[cfg(unix)]
+pub mod net;
 
 pub use cache::{VersionedCache, DEFAULT_SHARDS};
 pub use engine::{CacheStats, Ranking, ScoredBatch, ServingEngine};
 pub use handle::{ModelHandle, ModelSnapshot};
-pub use metrics::ServingMetrics;
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use metrics::{ServingMetrics, StageHistograms};
 
 /// One scoring request: rank every POI for `user` at time unit `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

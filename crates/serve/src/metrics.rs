@@ -1,12 +1,22 @@
-//! Serving metrics: monotone atomic counters, read as a plain snapshot.
+//! Serving metrics: monotone atomic counters plus per-stage log-bucketed
+//! latency histograms, read as plain snapshots.
 //!
 //! Counters use `Relaxed` ordering throughout — they are statistics, not
 //! synchronization; each counter is independently monotone and a snapshot
 //! taken while traffic is in flight is a consistent-enough view for
-//! dashboards and the bench harness. Latency sums are nanosecond totals
-//! per pipeline stage; divide by the matching counter for a mean.
+//! dashboards and the bench harness. Per-stage latencies are recorded
+//! into [`LatencyHistogram`]s (one sample per batch per stage), so
+//! snapshots expose real p50/p99/p999 tails, not just means; the legacy
+//! `*_ns` sum fields are preserved as the histogram sums.
+//!
+//! [`MetricsInner::take`] resets counters and histograms with per-cell
+//! atomic swaps: under concurrent recorders every increment lands in
+//! exactly one snapshot (counts are conserved — the race test in
+//! `tests/histogram_metrics.rs` pins this down).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::{HistogramSnapshot, LatencyHistogram};
 
 /// Internal counter block owned by the engine.
 #[derive(Debug, Default)]
@@ -18,9 +28,9 @@ pub(crate) struct MetricsInner {
     pub topn_hits: AtomicU64,
     pub topn_misses: AtomicU64,
     pub model_swaps: AtomicU64,
-    pub weight_build_ns: AtomicU64,
-    pub score_matmul_ns: AtomicU64,
-    pub select_ns: AtomicU64,
+    pub weight_build: LatencyHistogram,
+    pub score_matmul: LatencyHistogram,
+    pub select: LatencyHistogram,
 }
 
 impl MetricsInner {
@@ -39,9 +49,42 @@ impl MetricsInner {
             topn_hits: get(&self.topn_hits),
             topn_misses: get(&self.topn_misses),
             model_swaps: get(&self.model_swaps),
-            weight_build_ns: get(&self.weight_build_ns),
-            score_matmul_ns: get(&self.score_matmul_ns),
-            select_ns: get(&self.select_ns),
+            weight_build_ns: self.weight_build.snapshot().sum,
+            score_matmul_ns: self.score_matmul.snapshot().sum,
+            select_ns: self.select.snapshot().sum,
+        }
+    }
+
+    /// Snapshot-and-reset: every counter is `swap(0)`-ed and every
+    /// histogram drained bucket-by-bucket, so concurrent recorders lose
+    /// nothing — each increment appears in exactly one taken snapshot.
+    pub fn take(&self) -> (ServingMetrics, StageHistograms) {
+        let take = |c: &AtomicU64| c.swap(0, Ordering::Relaxed);
+        let stages = StageHistograms {
+            weight_build: self.weight_build.snapshot_and_reset(),
+            score_matmul: self.score_matmul.snapshot_and_reset(),
+            select: self.select.snapshot_and_reset(),
+        };
+        let metrics = ServingMetrics {
+            requests: take(&self.requests),
+            batches: take(&self.batches),
+            weight_hits: take(&self.weight_hits),
+            weight_misses: take(&self.weight_misses),
+            topn_hits: take(&self.topn_hits),
+            topn_misses: take(&self.topn_misses),
+            model_swaps: take(&self.model_swaps),
+            weight_build_ns: stages.weight_build.sum,
+            score_matmul_ns: stages.score_matmul.sum,
+            select_ns: stages.select.sum,
+        };
+        (metrics, stages)
+    }
+
+    pub fn stage_histograms(&self) -> StageHistograms {
+        StageHistograms {
+            weight_build: self.weight_build.snapshot(),
+            score_matmul: self.score_matmul.snapshot(),
+            select: self.select.snapshot(),
         }
     }
 }
@@ -70,6 +113,18 @@ pub struct ServingMetrics {
     pub score_matmul_ns: u64,
     /// Total nanoseconds in top-`n` selection.
     pub select_ns: u64,
+}
+
+/// Per-stage latency histograms (one sample per batch per stage); see
+/// [`HistogramSnapshot`] for p50/p99/p999 reads.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageHistograms {
+    /// Weight-vector build/fetch stage.
+    pub weight_build: HistogramSnapshot,
+    /// Batched `W · U²ᵀ` score matmul stage.
+    pub score_matmul: HistogramSnapshot,
+    /// Top-`n` selection stage.
+    pub select: HistogramSnapshot,
 }
 
 impl ServingMetrics {
@@ -107,5 +162,20 @@ mod tests {
         m.topn_hits = 1;
         m.topn_misses = 3;
         assert!((m.topn_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_drains_counters_and_histograms() {
+        let inner = MetricsInner::default();
+        MetricsInner::add(&inner.requests, 5);
+        inner.weight_build.record(120);
+        inner.weight_build.record(40);
+        let (m, stages) = inner.take();
+        assert_eq!(m.requests, 5);
+        assert_eq!(m.weight_build_ns, 160);
+        assert_eq!(stages.weight_build.count, 2);
+        let (m2, stages2) = inner.take();
+        assert_eq!(m2.requests, 0);
+        assert_eq!(stages2.weight_build.count, 0);
     }
 }

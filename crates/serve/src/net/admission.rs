@@ -1,0 +1,105 @@
+//! Admission control: a bounded in-flight permit gate.
+//!
+//! The server decodes requests off the wire faster than the engine can
+//! score them when offered load exceeds capacity. Rather than queueing
+//! without bound (latency death spiral) or blocking the readiness loop
+//! (head-of-line stall for every connection on the worker), each decoded
+//! request must win a permit before it may enter the scoring batch. When
+//! the gate is full the request is answered immediately with a typed
+//! `Overloaded` response — deterministic shed, never a timeout.
+//!
+//! Permits are RAII ([`Permit`]): released when the response has been
+//! built, so the gate's occupancy is exactly the number of
+//! decoded-but-unanswered requests across all workers. Tests grab the
+//! whole gate up front to force the full-queue path deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Bounded permit counter shared by all workers of one server.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    capacity: usize,
+    in_flight: AtomicUsize,
+}
+
+impl AdmissionGate {
+    /// Gate admitting at most `capacity` in-flight requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        AdmissionGate {
+            capacity: capacity.max(1),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Configured queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Try to admit one request; `None` means the queue is at capacity
+    /// and the caller must shed.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(Permit {
+                        gate: Arc::clone(self),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// RAII admission permit; dropping it frees one queue slot.
+#[derive(Debug)]
+pub struct Permit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_up_to_capacity_and_recovers() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "full gate sheds");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        assert!(gate.try_acquire().is_some(), "freed slot readmits");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let gate = Arc::new(AdmissionGate::new(0));
+        assert_eq!(gate.capacity(), 1);
+        let _p = gate.try_acquire().expect("one slot");
+        assert!(gate.try_acquire().is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! A small blocking client for the TCSS wire protocol.
+//!
+//! Used by the `tcss query` CLI, the protocol/chaos test suites and the
+//! `bench_serve_net` load generator. The client is deliberately simple —
+//! one blocking socket, the shared [`FrameDecoder`] — but supports
+//! pipelining: [`NetClient::send_recommend`] queues without waiting and
+//! [`NetClient::read_response`] drains answers in arrival order, with
+//! correlation ids matching them back to requests. Every read honours a
+//! configurable timeout so a wedged server yields a typed error instead
+//! of a hung test (the CI job's hung-server detection in miniature).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::net::frame::{self, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
+use crate::net::proto::{self, Request, RequestBody, Response, ResponseBody, WireError};
+
+/// Typed client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The server's bytes failed framing.
+    Frame(FrameError),
+    /// The server's payload failed decoding.
+    Wire(WireError),
+    /// The server closed the connection before answering.
+    ServerClosed,
+    /// The server answered with a body the call cannot use (e.g. a
+    /// `Ranking` where a `Pong` was expected).
+    Unexpected(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error from server: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error from server: {e}"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Unexpected(resp) => {
+                write!(f, "unexpected response body for id {}", resp.id)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Blocking wire-protocol client over one TCP connection.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+    /// Responses read while waiting for a different correlation id.
+    stash: HashMap<u64, Response>,
+}
+
+impl NetClient {
+    /// Connect with a 10-second read timeout (see
+    /// [`NetClient::connect_with_timeout`]).
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect; `read_timeout` bounds every blocking read so a hung
+    /// server surfaces as `ClientError::Io(TimedOut/WouldBlock)`.
+    pub fn connect_with_timeout(addr: SocketAddr, read_timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(NetClient {
+            stream,
+            decoder: FrameDecoder::new(DEFAULT_MAX_FRAME_LEN),
+            next_id: 1,
+            stash: HashMap::new(),
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send a `Recommend` without waiting (pipelining); returns the
+    /// correlation id to match against [`NetClient::read_response`].
+    pub fn send_recommend(&mut self, user: u64, time: u64, n: u32) -> io::Result<u64> {
+        let id = self.fresh_id();
+        let payload = proto::encode_request(&Request {
+            id,
+            body: RequestBody::Recommend { user, time, n },
+        });
+        self.stream.write_all(&frame::encode_frame(&payload))?;
+        Ok(id)
+    }
+
+    /// Send raw bytes verbatim — the protocol tests' malformed-input
+    /// injection point.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Half-close the write side (EOF to the server, reads still open).
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Next response in arrival order (stashed responses first).
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        if let Some(&id) = self.stash.keys().next() {
+            return Ok(self.stash.remove(&id).expect("key just seen"));
+        }
+        self.read_from_wire()
+    }
+
+    fn read_from_wire(&mut self) -> Result<Response, ClientError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    return proto::decode_response(&payload).map_err(ClientError::Wire)
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Frame(e)),
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return match self.decoder.finish() {
+                        Ok(()) => Err(ClientError::ServerClosed),
+                        Err(e) => Err(ClientError::Frame(e)),
+                    }
+                }
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Response for a specific correlation id; other responses read on
+    /// the way are stashed for later [`NetClient::read_response`] calls.
+    pub fn read_response_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(resp) = self.stash.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let resp = self.read_from_wire()?;
+            if resp.id == id {
+                return Ok(resp);
+            }
+            self.stash.insert(resp.id, resp);
+        }
+    }
+
+    /// Blocking request/response round trip.
+    pub fn recommend(&mut self, user: u64, time: u64, n: u32) -> Result<Response, ClientError> {
+        let id = self.send_recommend(user, time, n)?;
+        self.read_response_for(id)
+    }
+
+    /// Liveness round trip; `Ok` only on a `Pong` echo.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        let payload = proto::encode_request(&Request {
+            id,
+            body: RequestBody::Ping,
+        });
+        self.stream.write_all(&frame::encode_frame(&payload))?;
+        let resp = self.read_response_for(id)?;
+        match &resp.body {
+            ResponseBody::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected(resp)),
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Wire-protocol serving: framing, message codec, admission control,
+//! readiness-loop server and blocking client.
+//!
+//! Layering, bottom up:
+//!
+//! 1. [`frame`] — length-prefixed binary frames, incremental decoding
+//!    under arbitrary byte-boundary splits, typed oversize/truncation
+//!    errors.
+//! 2. [`proto`] — request/response messages inside frames; scores travel
+//!    as `f64::to_bits`, so wire answers are bitwise-identical to
+//!    in-process `recommend` calls on the same model snapshot.
+//! 3. [`admission`] — the bounded in-flight gate behind deterministic
+//!    `Overloaded` load shedding.
+//! 4. [`server`] — the `poll(2)` readiness loop (acceptor + worker
+//!    threads) over [`crate::ServingEngine`], batching decoded requests
+//!    across connections and surviving model swaps mid-load.
+//! 5. [`client`] — a small blocking client with pipelining and read
+//!    timeouts, shared by the CLI, tests and the load generator.
+//!
+//! See `DESIGN.md` §5f for the full wire-serving design notes and
+//! `crates/bench/src/bin/bench_serve_net.rs` for the tail-latency
+//! harness that produces `BENCH_serve_net.json`.
+
+pub mod admission;
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionGate, Permit};
+pub use client::{ClientError, NetClient};
+pub use frame::{FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
+pub use proto::{ErrorCode, Request, RequestBody, Response, ResponseBody, WireError};
+pub use server::{NetMetrics, NetServer, ServerConfig, ServerHandle};

@@ -1,0 +1,230 @@
+//! Histogram correctness and metrics race-freedom.
+//!
+//! 1. On synthetic distributions, the log-bucketed estimator's
+//!    p50/p99/p999 land within one bucket of the exact (sorted-array)
+//!    quantile — the error bound the bucket geometry promises.
+//! 2. `snapshot_and_reset` is race-free under concurrent recorders:
+//!    interleaved scrapes may split the stream arbitrarily, but merging
+//!    every scrape conserves every recorded sample and the exact sum
+//!    (nothing lost, nothing double-counted).
+//! 3. The engine-level `take_metrics` obeys the same conservation law
+//!    while live traffic hammers the serving path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use tcss_core::{random_init, TcssModel};
+use tcss_serve::hist::{bucket_index, bucket_range};
+use tcss_serve::{HistogramSnapshot, LatencyHistogram, ScoreRequest, ServingEngine};
+
+/// Exact quantile of a sorted sample, same convention as the histogram:
+/// smallest value with rank ≥ ⌈q·count⌉.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Assert the estimate is within one bucket of the exact quantile: the
+/// estimate's bucket must be the exact value's bucket or an adjacent one.
+fn assert_within_one_bucket(estimate: u64, exact: u64, label: &str) {
+    let be = bucket_index(estimate);
+    let bx = bucket_index(exact);
+    assert!(
+        be.abs_diff(bx) <= 1,
+        "{label}: estimate {estimate} (bucket {be}) vs exact {exact} (bucket {bx})"
+    );
+}
+
+/// Deterministic xorshift so distributions are reproducible without a
+/// seeded-RNG dependency in the test.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn check_distribution(samples: &[u64], label: &str) {
+    let hist = LatencyHistogram::new();
+    for &s in samples {
+        hist.record(s);
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, samples.len() as u64);
+    let exact_sum: u64 = samples.iter().sum();
+    assert_eq!(snap.sum, exact_sum, "{label}: sum is exact, not bucketed");
+
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for (q, est) in [(0.50, snap.p50()), (0.99, snap.p99()), (0.999, snap.p999())] {
+        assert_within_one_bucket(est, exact_quantile(&sorted, q), &format!("{label} q={q}"));
+    }
+}
+
+#[test]
+fn quantiles_within_one_bucket_on_synthetic_distributions() {
+    let mut rng = XorShift(0x9e3779b97f4a7c15);
+
+    // Uniform over ~3 decades.
+    let uniform: Vec<u64> = (0..20_000).map(|_| 1_000 + rng.next() % 999_000).collect();
+    check_distribution(&uniform, "uniform");
+
+    // Log-uniform: spread across bucket groups, stresses the geometry.
+    let log_uniform: Vec<u64> = (0..20_000)
+        .map(|_| {
+            let exp = rng.next() % 20; // 2^0 ..= 2^19
+            (1u64 << exp) + rng.next() % (1u64 << exp).max(1)
+        })
+        .collect();
+    check_distribution(&log_uniform, "log-uniform");
+
+    // Bimodal with a heavy tail: the p999 lives in the sparse mode.
+    let bimodal: Vec<u64> = (0..20_000)
+        .map(|i| {
+            if i % 500 == 0 {
+                10_000_000 + rng.next() % 5_000_000
+            } else {
+                5_000 + rng.next() % 2_000
+            }
+        })
+        .collect();
+    check_distribution(&bimodal, "bimodal");
+
+    // Constant stream: every quantile is the constant's bucket edge.
+    let constant = vec![123_456u64; 5_000];
+    check_distribution(&constant, "constant");
+    let (lo, hi) = bucket_range(bucket_index(123_456));
+    let hist = LatencyHistogram::new();
+    for &s in &constant {
+        hist.record(s);
+    }
+    let p50 = hist.snapshot().p50();
+    assert!((lo..=hi).contains(&p50), "constant p50 within its bucket");
+}
+
+#[test]
+fn snapshot_and_reset_conserves_counts_under_concurrent_recorders() {
+    const RECORDERS: usize = 4;
+    const PER_RECORDER: u64 = 50_000;
+
+    let hist = Arc::new(LatencyHistogram::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let recorders: Vec<std::thread::JoinHandle<u64>> = (0..RECORDERS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                let mut local_sum = 0u64;
+                let mut rng = XorShift(0xabcd_ef01 + t as u64);
+                for _ in 0..PER_RECORDER {
+                    let v = 1 + rng.next() % 1_000_000;
+                    hist.record(v);
+                    local_sum += v;
+                }
+                local_sum
+            })
+        })
+        .collect();
+
+    // A scraper racing the recorders: repeated snapshot_and_reset.
+    let scraper = {
+        let hist = Arc::clone(&hist);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut merged = HistogramSnapshot::default();
+            while !stop.load(Ordering::Acquire) {
+                merged.merge(&hist.snapshot_and_reset());
+                std::thread::yield_now();
+            }
+            merged
+        })
+    };
+
+    let expected_sum: u64 = recorders.into_iter().map(|r| r.join().unwrap()).sum();
+    stop.store(true, Ordering::Release);
+    let mut merged = scraper.join().unwrap();
+
+    // Drain whatever the final scrape missed, then check conservation.
+    merged.merge(&hist.snapshot_and_reset());
+    assert_eq!(
+        merged.count,
+        (RECORDERS as u64) * PER_RECORDER,
+        "no sample lost or double-counted across racing scrapes"
+    );
+    assert_eq!(merged.sum, expected_sum, "sum conserved exactly");
+
+    // The histogram is now fully drained.
+    let empty = hist.snapshot();
+    assert_eq!(empty.count, 0);
+    assert_eq!(empty.sum, 0);
+}
+
+#[test]
+fn engine_take_metrics_is_race_free_under_live_traffic() {
+    const DIMS: (usize, usize, usize) = (4, 23, 3);
+    let (u1, u2, u3) = random_init(DIMS, 3, 7);
+    let engine = Arc::new(ServingEngine::new(TcssModel::new(u1, u2, u3)));
+
+    const WORKERS: usize = 3;
+    const ROUNDS: usize = 400;
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    let req = ScoreRequest {
+                        user: (t + i) % DIMS.0,
+                        time: i % DIMS.2,
+                    };
+                    engine.recommend_batch(&[req], 5).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Scrape concurrently with the traffic; every take must hand out
+    // each recorded sample exactly once, so summing the scrapes must
+    // conserve the counters exactly — no loss, no double count.
+    let mut requests = 0u64;
+    let mut served = 0u64; // topn hits + misses
+    let mut select = HistogramSnapshot::default();
+    let mut scrape = |engine: &ServingEngine| {
+        let (m, stages) = engine.take_metrics();
+        requests += m.requests;
+        served += m.topn_hits + m.topn_misses;
+        select.merge(&stages.select);
+    };
+    for _ in 0..50 {
+        scrape(&engine);
+        std::thread::yield_now();
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    scrape(&engine);
+
+    let total = (WORKERS * ROUNDS) as u64;
+    assert_eq!(requests, total, "request counter conserved across scrapes");
+    assert_eq!(served, total, "every request was a topn hit or miss");
+    // Select-stage samples: one per batch that had ≥1 cache miss. With a
+    // finite key space under concurrent load the exact split is racy, but
+    // the cold misses guarantee at least one, takes never duplicate, and
+    // each batch here holds one request so samples ≤ requests.
+    assert!(select.count >= 1, "cold misses recorded select samples");
+    assert!(select.count <= total, "select samples never double-counted");
+    let bucket_mass: u64 = select.counts.iter().sum();
+    assert_eq!(
+        bucket_mass, select.count,
+        "bucket mass matches sample count"
+    );
+
+    // After the final take, everything is drained.
+    let (metrics, stages) = engine.take_metrics();
+    assert_eq!(stages.select.count, 0);
+    assert_eq!(metrics.requests, 0);
+}

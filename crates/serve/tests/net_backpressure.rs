@@ -1,0 +1,206 @@
+//! Backpressure suite: admission-control shedding is deterministic.
+//!
+//! The server admits at most `queue_depth` in-flight recommendations;
+//! beyond that it answers `Overloaded { queue_depth }` immediately — a
+//! typed rejection, never a timeout or a dropped connection. The test
+//! makes that deterministic (not load-dependent) by grabbing every
+//! admission permit directly through [`ServerHandle::admission`], so the
+//! server is *provably* full while the probe requests are in flight.
+//! After the permits drop, the queue must drain and subsequent requests
+//! must succeed with bitwise-correct rankings.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tcss_core::{random_init, TcssModel};
+use tcss_serve::net::{NetClient, NetServer, ResponseBody, ServerConfig};
+use tcss_serve::ServingEngine;
+
+const DIMS: (usize, usize, usize) = (5, 29, 3);
+const RANK: usize = 3;
+const QUEUE_DEPTH: usize = 4;
+const SHED_PROBES: usize = 6;
+
+fn fixture_model() -> TcssModel {
+    let (u1, u2, u3) = random_init(DIMS, RANK, 424242);
+    TcssModel::new(u1, u2, u3)
+}
+
+#[test]
+fn full_queue_sheds_typed_overloaded_then_drains_and_recovers() {
+    let model = fixture_model();
+    let engine = Arc::new(ServingEngine::new(fixture_model()));
+    let handle = NetServer::start(
+        engine,
+        ServerConfig {
+            workers: 2,
+            queue_depth: QUEUE_DEPTH,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+
+    let gate = handle.admission();
+    assert_eq!(gate.capacity(), QUEUE_DEPTH);
+
+    // Occupy every permit so the server cannot admit anything.
+    let held: Vec<_> = (0..QUEUE_DEPTH)
+        .map(|_| gate.try_acquire().expect("permit available"))
+        .collect();
+    assert!(gate.try_acquire().is_none(), "gate is full");
+    assert_eq!(gate.in_flight(), QUEUE_DEPTH);
+
+    // --- shed phase ------------------------------------------------------
+    // Pipeline several requests into the full server. Each must come back
+    // as a *typed* Overloaded carrying the configured depth — quickly,
+    // not by exhausting a timeout.
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    let ids: Vec<u64> = (0..SHED_PROBES)
+        .map(|i| {
+            client
+                .send_recommend((i % DIMS.0) as u64, (i % DIMS.2) as u64, 5)
+                .expect("send")
+        })
+        .collect();
+    let shed_started = Instant::now();
+    for id in &ids {
+        let resp = client.read_response_for(*id).expect("typed shed response");
+        match resp.body {
+            ResponseBody::Overloaded { queue_depth } => {
+                assert_eq!(queue_depth as usize, QUEUE_DEPTH)
+            }
+            other => panic!("expected Overloaded for id {id}, got {other:?}"),
+        }
+    }
+    assert!(
+        shed_started.elapsed() < Duration::from_secs(5),
+        "shedding must be immediate, not timeout-driven"
+    );
+
+    // Ping still answers while the queue is full: liveness is not gated.
+    client.ping().expect("ping bypasses admission");
+
+    // --- drain phase -----------------------------------------------------
+    drop(held);
+    let drained = Instant::now();
+    while handle.admission().in_flight() != 0 {
+        assert!(
+            drained.elapsed() < Duration::from_secs(5),
+            "queue failed to drain after permits dropped"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // --- recovery phase --------------------------------------------------
+    // Subsequent requests are admitted and answered bitwise-correctly.
+    for user in 0..DIMS.0 {
+        for time in 0..DIMS.2 {
+            let resp = client
+                .recommend(user as u64, time as u64, 5)
+                .expect("post-drain request");
+            match &resp.body {
+                ResponseBody::Ranking { items, .. } => {
+                    let want = model.recommend(user, time, 5);
+                    assert_eq!(items.len(), want.len());
+                    for ((gp, gs), (wp, ws)) in items.iter().zip(&want) {
+                        assert_eq!(*gp, *wp as u64);
+                        assert_eq!(gs.to_bits(), ws.to_bits(), "post-drain bitwise parity");
+                    }
+                }
+                other => panic!("expected ranking after drain, got {other:?}"),
+            }
+        }
+    }
+
+    let m = handle.metrics();
+    assert_eq!(m.overloaded, SHED_PROBES as u64, "every probe was shed");
+    assert_eq!(
+        m.ok,
+        (DIMS.0 * DIMS.2) as u64,
+        "every post-drain request succeeded"
+    );
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.protocol_errors, 0);
+    assert_eq!(handle.admission().in_flight(), 0, "no leaked permits");
+}
+
+#[test]
+fn shedding_under_real_overload_recovers_without_timeouts() {
+    // A non-deterministic companion: genuinely oversubscribe a depth-1
+    // server from several pipelining clients. We cannot predict *which*
+    // requests shed, but every response must be either a correct Ranking
+    // or a typed Overloaded — and afterwards the server must be healthy.
+    let model = fixture_model();
+    let engine = Arc::new(ServingEngine::new(fixture_model()));
+    let handle = NetServer::start(
+        engine,
+        ServerConfig {
+            workers: 2,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    let model = Arc::new(model);
+    let threads: Vec<_> = (0..3)
+        .map(|c| {
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                let mut ids = Vec::new();
+                for i in 0..80usize {
+                    let user = (c + i) % DIMS.0;
+                    let time = i % DIMS.2;
+                    let id = client
+                        .send_recommend(user as u64, time as u64, 4)
+                        .expect("send");
+                    ids.push((id, user, time));
+                }
+                let (mut ok, mut shed) = (0u64, 0u64);
+                for (id, user, time) in ids {
+                    let resp = client.read_response_for(id).expect("typed response");
+                    match &resp.body {
+                        ResponseBody::Ranking { items, .. } => {
+                            let want = model.recommend(user, time, 4);
+                            for ((gp, gs), (wp, ws)) in items.iter().zip(&want) {
+                                assert_eq!(*gp, *wp as u64);
+                                assert_eq!(gs.to_bits(), ws.to_bits());
+                            }
+                            ok += 1;
+                        }
+                        ResponseBody::Overloaded { queue_depth } => {
+                            assert_eq!(*queue_depth, 1);
+                            shed += 1;
+                        }
+                        other => panic!("unexpected body under overload: {other:?}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+
+    let mut total_ok = 0;
+    let mut total_shed = 0;
+    for t in threads {
+        let (ok, shed) = t.join().expect("client thread");
+        total_ok += ok;
+        total_shed += shed;
+    }
+    assert_eq!(
+        total_ok + total_shed,
+        240,
+        "every request answered exactly once"
+    );
+    assert!(total_ok > 0, "some requests must get through");
+
+    // Health check after the storm.
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.ping().expect("server healthy after overload");
+    let m = handle.metrics();
+    assert_eq!(m.ok, total_ok);
+    assert_eq!(m.overloaded, total_shed);
+    assert_eq!(handle.admission().in_flight(), 0, "no leaked permits");
+}

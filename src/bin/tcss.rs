@@ -6,6 +6,8 @@
 //! tcss recommend --data data/gowalla --model m.tcss --user 7 --month 5
 //! tcss recommend-batch --data data/gowalla --model m.tcss --requests 7:5,3:1 --top 5
 //! tcss evaluate --data data/gowalla --model m.tcss      # Hit@10 / MRR
+//! tcss serve    --data data/gowalla --model m.tcss --addr 127.0.0.1:7464
+//! tcss query    --addr 127.0.0.1:7464 --user 7 --month 5 --top 10
 //! ```
 //!
 //! Datasets use the three-file CSV interchange format of `tcss_data::io`;
@@ -37,8 +39,18 @@ const USAGE: &str = "usage:
   tcss recommend --data <stem> --model <file> --user U --month M [--top N]
   tcss recommend-batch --data <stem> --model <file> --requests <U:M,U:M,...> [--top N]
   tcss evaluate  --data <stem> --model <file> [--test-fraction F]
+  tcss serve     --data <stem> --model <file> [--addr A] [--threads N] [--queue-depth D]
+  tcss query     --addr <host:port> --user U --month M [--top N]
 
 <stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.
+
+serving:
+  tcss serve binds a wire-protocol server (default 127.0.0.1:0, i.e. an
+  OS-assigned port printed on startup) and blocks until killed. --threads
+  sets worker readiness loops (default 2); --queue-depth bounds admitted
+  in-flight requests (default 1024) — beyond it, requests are answered
+  with a typed Overloaded response instead of queueing. tcss query sends
+  one recommendation request to a running server.
 
 fault tolerance:
   --checkpoint-dir <dir>  write a rolling checkpoint to <dir>/checkpoint.tcssck
@@ -73,6 +85,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("recommend") => cmd_recommend(&args[1..]),
         Some("recommend-batch") => cmd_recommend_batch(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -300,6 +314,63 @@ fn cmd_recommend_batch(args: &[String]) -> Result<(), String> {
         m.topn_misses
     );
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let data = load(req(args, "--data")?)?;
+    let model = load_model_checked(req(args, "--model")?, &data)?;
+    let mut cfg = tcss::serve::net::ServerConfig::default();
+    if let Some(v) = opt(args, "--addr") {
+        cfg.addr = parse(v, "--addr")?;
+    }
+    if let Some(v) = opt(args, "--threads") {
+        cfg.workers = parse(v, "--threads")?;
+    }
+    if let Some(v) = opt(args, "--queue-depth") {
+        cfg.queue_depth = parse(v, "--queue-depth")?;
+    }
+    let (i, j, k) = model.dims();
+    let engine = std::sync::Arc::new(ServingEngine::new(model));
+    let handle = tcss::serve::net::NetServer::start(engine, cfg)
+        .map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "serving {i} users × {j} POIs × {k} slots on {}",
+        handle.addr()
+    );
+    println!("listening; press Ctrl-C to stop");
+    handle.join();
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let addr: std::net::SocketAddr = parse(req(args, "--addr")?, "--addr")?;
+    let user: u64 = parse(req(args, "--user")?, "--user")?;
+    let month: u64 = parse(req(args, "--month")?, "--month")?;
+    let top: u32 = match opt(args, "--top") {
+        Some(v) => parse(v, "--top")?,
+        None => 10,
+    };
+    let mut client = tcss::serve::net::NetClient::connect(addr)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = client
+        .recommend(user, month, top)
+        .map_err(|e| format!("query failed: {e}"))?;
+    match resp.body {
+        tcss::serve::net::ResponseBody::Ranking { version, items } => {
+            println!("top-{top} POIs for user {user} in month {month} (model v{version}):");
+            for (rank, (poi, score)) in items.into_iter().enumerate() {
+                println!("{:>3}. poi {poi:>5}  score {score:.4}", rank + 1);
+            }
+            Ok(())
+        }
+        tcss::serve::net::ResponseBody::Overloaded { queue_depth } => Err(format!(
+            "server overloaded (admission queue depth {queue_depth}); retry later"
+        )),
+        tcss::serve::net::ResponseBody::Error { code, message } => {
+            Err(format!("server error ({code:?}): {message}"))
+        }
+        other => Err(format!("unexpected response: {other:?}")),
+    }
 }
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
