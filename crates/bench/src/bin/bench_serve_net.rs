@@ -324,7 +324,7 @@ fn main() {
 
     // One server for the whole sweep, as in production: caches warm over
     // the sweep the way they would under sustained traffic.
-    let handle = start_server(&fx, SWEEP_THREADS);
+    let mut handle = start_server(&fx, SWEEP_THREADS);
     let addr = handle.addr();
 
     // Warm the version-keyed caches over every (user, time) pair first:
@@ -386,12 +386,26 @@ fn main() {
     assert_eq!(m.errors, 0, "no typed request errors under in-range load");
     assert_eq!(m.protocol_errors, 0, "no protocol errors under the sweep");
     println!(
-        "server totals: {} requests, {} ok, {} shed, server-side p99 {} ns",
+        "server totals: {} requests, {} ok, {} shed, server-side p99 {} ns, \
+         queue-wait p99 {} ns",
         m.requests,
         m.ok,
         m.overloaded,
-        m.request_ns.p99()
+        m.request_ns.p99(),
+        m.queue_wait_ns.p99()
     );
+
+    // --- drain timing -----------------------------------------------------
+    // Graceful drain at the end of the sweep: how long a loaded-then-idle
+    // server takes to stop accepting, flush and close every connection.
+    let t_drain = Instant::now();
+    let drain_clean = handle.drain(Duration::from_secs(10));
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        drain_clean,
+        "post-sweep drain must complete without force-close"
+    );
+    println!("drain: {drain_ms:.1} ms (clean)");
 
     // --- JSON -------------------------------------------------------------
     let mut json = String::from("{\n  \"group\": \"serve_net\",\n");
@@ -424,7 +438,23 @@ fn main() {
             r.latency.mean()
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"resilience\": {{\"deadline_exceeded\": {}, \"panics\": {}, \
+         \"worker_restarts\": {}, \"reaped_idle\": {}, \
+         \"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
+         \"queue_wait_p999_ns\": {}, \"drain_ms\": {:.1}, \"drain_clean\": {}}}\n",
+        m.deadline_exceeded,
+        m.panics,
+        m.worker_restarts,
+        m.reaped_idle,
+        m.queue_wait_ns.p50(),
+        m.queue_wait_ns.p99(),
+        m.queue_wait_ns.p999(),
+        drain_ms,
+        drain_clean
+    ));
+    json.push_str("}\n");
     std::fs::write("BENCH_serve_net.json", json).expect("write BENCH_serve_net.json");
     println!("wrote BENCH_serve_net.json");
 }

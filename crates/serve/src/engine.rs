@@ -1,6 +1,7 @@
 //! The recommendation-serving engine: batched scoring over a swappable
 //! model with version-keyed caches.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -65,6 +66,15 @@ pub struct ServingEngine {
     weights: VersionedCache<(usize, usize), Vec<f64>>,
     topn: VersionedCache<(usize, usize, usize), Vec<(usize, f64)>>,
     metrics: MetricsInner,
+    /// Monotone count of requests entered into `recommend_batch_pinned`
+    /// over the engine's lifetime (never reset; the fault trigger below
+    /// is keyed against it).
+    request_seq: AtomicU64,
+    /// Test-only injected-panic trigger (`u64::MAX` = disarmed): the
+    /// absolute request-sequence index at which the next
+    /// `recommend_batch_pinned` batch panics, consumed once — the
+    /// serving-side mirror of `tcss_core::fault`'s epoch-keyed triggers.
+    fault_panic_at: AtomicU64,
 }
 
 impl ServingEngine {
@@ -82,7 +92,29 @@ impl ServingEngine {
             weights: VersionedCache::with_shards(shards),
             topn: VersionedCache::with_shards(shards),
             metrics: MetricsInner::default(),
+            request_seq: AtomicU64::new(0),
+            fault_panic_at: AtomicU64::new(u64::MAX),
         }
+    }
+
+    /// Arm a one-shot injected panic: the `recommend_batch_pinned` batch
+    /// containing the `index`-th request ever entered (0-based, counted
+    /// over the engine's lifetime) panics before scoring. Production code
+    /// never calls this; it exists so the wire server's panic-isolation
+    /// contract (typed `Internal` answers, surviving worker) can be
+    /// driven through a real unwinding panic in tests. The trigger is
+    /// consumed exactly once — after it fires, the replayed request runs
+    /// clean, like a transient fault.
+    pub fn inject_panic_at_request(&self, index: u64) {
+        assert_ne!(index, u64::MAX, "u64::MAX is the disarmed sentinel");
+        self.fault_panic_at.store(index, Ordering::SeqCst);
+    }
+
+    /// Requests entered into [`ServingEngine::recommend_batch_pinned`]
+    /// so far (the sequence [`ServingEngine::inject_panic_at_request`]
+    /// indexes into).
+    pub fn requests_entered(&self) -> u64 {
+        self.request_seq.load(Ordering::SeqCst)
     }
 
     /// Currently published model version.
@@ -249,6 +281,25 @@ impl ServingEngine {
         let snap = self.handle.snapshot();
         MetricsInner::add(&self.metrics.requests, requests.len() as u64);
         MetricsInner::add(&self.metrics.batches, 1);
+
+        // Injected-panic trigger (test harness; disarmed in production).
+        // The batch containing the armed request index panics before any
+        // scoring, and the CAS consumes the trigger so the retry of the
+        // same request runs clean.
+        let first = self
+            .request_seq
+            .fetch_add(requests.len() as u64, Ordering::SeqCst);
+        let armed = self.fault_panic_at.load(Ordering::SeqCst);
+        if armed != u64::MAX
+            && armed >= first
+            && armed - first < requests.len() as u64
+            && self
+                .fault_panic_at
+                .compare_exchange(armed, u64::MAX, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            panic!("injected panic at request {armed} (serving fault harness)");
+        }
 
         let mut out: Vec<Option<Result<Ranking, ServeError>>> = vec![None; requests.len()];
         let mut missed: Vec<usize> = Vec::new();

@@ -36,6 +36,14 @@
 //!   protocol over [`ServingEngine`], with deterministic `Overloaded`
 //!   load shedding and graceful model swap under load; wire responses
 //!   are bitwise-identical to in-process `recommend` calls.
+//! * **Resilience** ([`net`] again; DESIGN.md §5g) — typed per-request
+//!   deadlines, an idle-connection reaper, `catch_unwind` panic
+//!   isolation with worker respawn, graceful drain
+//!   ([`net::ServerHandle::drain`]), client-side capped-backoff retry
+//!   ([`net::NetClient::recommend_with_retry`]), and a deterministic
+//!   transport fault-injection harness ([`net::FaultyTransport`])
+//!   asserting every fault yields a typed error or a bitwise-correct
+//!   answer — never a hang, never a wrong score.
 //!
 //! ```no_run
 //! use tcss_serve::{ScoreRequest, ServingEngine};

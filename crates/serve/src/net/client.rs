@@ -6,16 +6,37 @@
 //! pipelining: [`NetClient::send_recommend`] queues without waiting and
 //! [`NetClient::read_response`] drains answers in arrival order, with
 //! correlation ids matching them back to requests. Every read honours a
-//! configurable timeout so a wedged server yields a typed error instead
-//! of a hung test (the CI job's hung-server detection in miniature).
+//! configurable timeout ([`ClientConfig::read_timeout`]) so a wedged
+//! server yields a typed error instead of a hung test (the CI job's
+//! hung-server detection in miniature).
+//!
+//! # Retry and backoff
+//!
+//! [`NetClient::recommend_with_retry`] layers resilience on top of the
+//! raw round trip: typed `Overloaded` responses and *transient* I/O
+//! failures (connection reset/aborted, broken pipe, read timeout, a
+//! clean server close) are retried up to [`ClientConfig::retries`] times
+//! with **deterministic capped exponential backoff** — delay for attempt
+//! `k` is `min(backoff_base · 2ᵏ, backoff_cap)`, no jitter, matching the
+//! repo's reproducibility posture (two identical runs back off
+//! identically). Transport-level failures reconnect before retrying;
+//! `Overloaded` retries reuse the healthy connection. A per-call
+//! deadline ([`ClientConfig::call_deadline`]) bounds the whole loop,
+//! sleeps included: when it expires the call returns a typed
+//! [`ClientError::DeadlineExceeded`] instead of another attempt.
+//! Server-side `DeadlineExceeded`/`Internal` errors are retried too —
+//! the server guarantees such requests were never scored, so a retry
+//! cannot double-apply anything. Malformed server bytes (framing or
+//! protocol decode failures) are **not** retried: they indicate
+//! corruption, not load, and deserve a loud failure.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::net::frame::{self, FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
-use crate::net::proto::{self, Request, RequestBody, Response, ResponseBody, WireError};
+use crate::net::proto::{self, ErrorCode, Request, RequestBody, Response, ResponseBody, WireError};
 
 /// Typed client-side failures.
 #[derive(Debug)]
@@ -31,6 +52,19 @@ pub enum ClientError {
     /// The server answered with a body the call cannot use (e.g. a
     /// `Ranking` where a `Pong` was expected).
     Unexpected(Response),
+    /// The per-call deadline ([`ClientConfig::call_deadline`]) expired
+    /// before a usable answer arrived.
+    DeadlineExceeded {
+        /// Time spent in the call when the deadline fired.
+        elapsed: Duration,
+    },
+    /// Every retry attempt failed; `last` is the final attempt's error.
+    RetriesExhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// The error from the last attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -42,6 +76,12 @@ impl std::fmt::Display for ClientError {
             ClientError::ServerClosed => write!(f, "server closed the connection"),
             ClientError::Unexpected(resp) => {
                 write!(f, "unexpected response body for id {}", resp.id)
+            }
+            ClientError::DeadlineExceeded { elapsed } => {
+                write!(f, "call deadline exceeded after {} ms", elapsed.as_millis())
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
             }
         }
     }
@@ -55,6 +95,60 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Client tuning knobs. `Default` then override:
+///
+/// ```
+/// use std::time::Duration;
+/// use tcss_serve::net::ClientConfig;
+/// let cfg = ClientConfig {
+///     read_timeout: Duration::from_millis(500),
+///     retries: 3,
+///     ..ClientConfig::default()
+/// };
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on every blocking socket read; a wedged server surfaces as
+    /// `ClientError::Io(TimedOut/WouldBlock)` instead of a hang.
+    pub read_timeout: Duration,
+    /// Maximum accepted response frame length in bytes.
+    pub max_frame_len: u32,
+    /// Extra attempts after the first for
+    /// [`NetClient::recommend_with_retry`] (0 = single attempt).
+    pub retries: u32,
+    /// Backoff before retry attempt `k` is `min(backoff_base · 2ᵏ,
+    /// backoff_cap)` — deterministic, no jitter.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Per-call wall-clock bound on the whole retry loop (attempts and
+    /// backoff sleeps included). `None` relies on `read_timeout` ×
+    /// attempts alone.
+    pub call_deadline: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Duration::from_secs(10),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            call_deadline: None,
+        }
+    }
+}
+
+/// Retry-loop observability: how hard the client had to work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Attempts beyond the first across all `recommend_with_retry` calls.
+    pub retries: u64,
+    /// Successful transport reconnects performed by the retry loop.
+    pub reconnects: u64,
+}
+
 /// Blocking wire-protocol client over one TCP connection.
 #[derive(Debug)]
 pub struct NetClient {
@@ -63,27 +157,70 @@ pub struct NetClient {
     next_id: u64,
     /// Responses read while waiting for a different correlation id.
     stash: HashMap<u64, Response>,
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    stats: ClientStats,
 }
 
 impl NetClient {
-    /// Connect with a 10-second read timeout (see
-    /// [`NetClient::connect_with_timeout`]).
+    /// Connect with the default config (10-second read timeout, no
+    /// retries); see [`NetClient::connect_with_config`].
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        Self::connect_with_timeout(addr, Duration::from_secs(10))
+        Self::connect_with_config(addr, ClientConfig::default())
     }
 
-    /// Connect; `read_timeout` bounds every blocking read so a hung
-    /// server surfaces as `ClientError::Io(TimedOut/WouldBlock)`.
+    /// Connect with only the read timeout overridden.
     pub fn connect_with_timeout(addr: SocketAddr, read_timeout: Duration) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(read_timeout))?;
+        Self::connect_with_config(
+            addr,
+            ClientConfig {
+                read_timeout,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connect with full [`ClientConfig`] control.
+    pub fn connect_with_config(addr: SocketAddr, cfg: ClientConfig) -> io::Result<Self> {
+        let stream = Self::open_stream(addr, &cfg)?;
         Ok(NetClient {
             stream,
-            decoder: FrameDecoder::new(DEFAULT_MAX_FRAME_LEN),
+            decoder: FrameDecoder::new(cfg.max_frame_len),
             next_id: 1,
             stash: HashMap::new(),
+            addr,
+            cfg,
+            stats: ClientStats::default(),
         })
+    }
+
+    fn open_stream(addr: SocketAddr, cfg: &ClientConfig) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        Ok(stream)
+    }
+
+    /// The config this client was built with.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// Retry-loop counters accumulated so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Replace the transport with a fresh connection to the same
+    /// address. Decoder state and stashed responses from the old
+    /// connection are discarded (their correlation ids can never be
+    /// answered again); the id counter keeps advancing so ids stay
+    /// unique across reconnects.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Self::open_stream(self.addr, &self.cfg)?;
+        self.decoder = FrameDecoder::new(self.cfg.max_frame_len);
+        self.stash.clear();
+        Ok(())
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -162,10 +299,104 @@ impl NetClient {
         }
     }
 
-    /// Blocking request/response round trip.
+    /// Blocking request/response round trip (single attempt, no retry).
     pub fn recommend(&mut self, user: u64, time: u64, n: u32) -> Result<Response, ClientError> {
         let id = self.send_recommend(user, time, n)?;
         self.read_response_for(id)
+    }
+
+    /// Round trip with the full resilience loop: retries `Overloaded`,
+    /// retry-safe server errors and transient transport failures with
+    /// deterministic capped exponential backoff (reconnecting when the
+    /// transport died), bounded by [`ClientConfig::call_deadline`]. See
+    /// the module docs for the exact retryability rules.
+    pub fn recommend_with_retry(
+        &mut self,
+        user: u64,
+        time: u64,
+        n: u32,
+    ) -> Result<Response, ClientError> {
+        let t0 = Instant::now();
+        let attempts = self.cfg.retries.saturating_add(1);
+        let mut last: Option<ClientError> = None;
+        let mut need_reconnect = false;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let shift = (attempt - 1).min(32);
+                let delay = self
+                    .cfg
+                    .backoff_base
+                    .saturating_mul(1u32 << shift)
+                    .min(self.cfg.backoff_cap);
+                if let Some(deadline) = self.cfg.call_deadline {
+                    // Never sleep past the deadline; expire typed.
+                    let elapsed = t0.elapsed();
+                    if elapsed + delay >= deadline {
+                        return Err(ClientError::DeadlineExceeded { elapsed });
+                    }
+                }
+                std::thread::sleep(delay);
+            }
+            if let Some(deadline) = self.cfg.call_deadline {
+                let elapsed = t0.elapsed();
+                if elapsed >= deadline {
+                    return Err(ClientError::DeadlineExceeded { elapsed });
+                }
+            }
+            if need_reconnect {
+                match self.reconnect() {
+                    Ok(()) => {
+                        self.stats.reconnects += 1;
+                        need_reconnect = false;
+                    }
+                    Err(e) => {
+                        last = Some(ClientError::Io(e));
+                        continue;
+                    }
+                }
+            }
+            match self.recommend(user, time, n) {
+                Ok(resp) => match &resp.body {
+                    // Shed load and retry-safe server errors: back off on
+                    // the same healthy connection.
+                    ResponseBody::Overloaded { .. } => last = Some(ClientError::Unexpected(resp)),
+                    ResponseBody::Error {
+                        code: ErrorCode::DeadlineExceeded | ErrorCode::Internal,
+                        ..
+                    } => last = Some(ClientError::Unexpected(resp)),
+                    _ => return Ok(resp),
+                },
+                Err(e) if Self::is_transient(&e) => {
+                    need_reconnect = true;
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// Transport failures worth a reconnect-and-retry. Framing/decoding
+    /// errors are deliberately excluded: corrupted server bytes are a
+    /// bug, not load.
+    fn is_transient(err: &ClientError) -> bool {
+        match err {
+            ClientError::ServerClosed => true,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
     }
 
     /// Liveness round trip; `Ok` only on a `Pong` echo.

@@ -14,21 +14,30 @@
 //! 4. [`server`] — the `poll(2)` readiness loop (acceptor + worker
 //!    threads) over [`crate::ServingEngine`], batching decoded requests
 //!    across connections and surviving model swaps mid-load.
-//! 5. [`client`] — a small blocking client with pipelining and read
-//!    timeouts, shared by the CLI, tests and the load generator.
+//! 5. [`client`] — a small blocking client with pipelining, read
+//!    timeouts, per-call deadlines and deterministic capped-backoff
+//!    retry, shared by the CLI, tests and the load generator.
+//! 6. [`faulty`] — deterministic transport fault injection (stalls,
+//!    partial writes, resets, byte corruption keyed by request index),
+//!    the test-only shim behind the serve-chaos suite.
 //!
-//! See `DESIGN.md` §5f for the full wire-serving design notes and
-//! `crates/bench/src/bin/bench_serve_net.rs` for the tail-latency
-//! harness that produces `BENCH_serve_net.json`.
+//! The server side layers a typed failure model on top: per-request
+//! deadlines, an idle-connection reaper, `catch_unwind` panic isolation
+//! with worker respawn, and graceful drain ([`ServerHandle::drain`]).
+//! See `DESIGN.md` §5f for the wire-serving design notes, §5g for the
+//! failure model, and `crates/bench/src/bin/bench_serve_net.rs` for the
+//! tail-latency harness that produces `BENCH_serve_net.json`.
 
 pub mod admission;
 pub mod client;
+pub mod faulty;
 pub mod frame;
 pub mod proto;
 pub mod server;
 
 pub use admission::{AdmissionGate, Permit};
-pub use client::{ClientError, NetClient};
+pub use client::{ClientConfig, ClientError, ClientStats, NetClient};
+pub use faulty::{FaultyTransport, TransportFault, TransportFaultPlan};
 pub use frame::{FrameDecoder, FrameError, DEFAULT_MAX_FRAME_LEN};
 pub use proto::{ErrorCode, Request, RequestBody, Response, ResponseBody, WireError};
-pub use server::{NetMetrics, NetServer, ServerConfig, ServerHandle};
+pub use server::{NetMetrics, NetServer, ServerConfig, ServerHandle, DEFAULT_DRAIN_TIMEOUT};

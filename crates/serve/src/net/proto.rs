@@ -64,6 +64,13 @@ pub enum ErrorCode {
     FrameTooLarge = 4,
     /// Connection ended mid-frame.
     Truncated = 5,
+    /// The request sat past the server's per-request deadline before it
+    /// could enter a scoring batch; it was **not** scored. Retry is safe.
+    DeadlineExceeded = 6,
+    /// The server hit an internal failure (a panic during batch
+    /// execution) scoring this request. The connection survives; the
+    /// request was not answered with data and may be retried.
+    Internal = 7,
 }
 
 impl ErrorCode {
@@ -74,6 +81,8 @@ impl ErrorCode {
             3 => Some(ErrorCode::TimeOutOfRange),
             4 => Some(ErrorCode::FrameTooLarge),
             5 => Some(ErrorCode::Truncated),
+            6 => Some(ErrorCode::DeadlineExceeded),
+            7 => Some(ErrorCode::Internal),
             _ => None,
         }
     }

@@ -40,17 +40,27 @@ const USAGE: &str = "usage:
   tcss recommend-batch --data <stem> --model <file> --requests <U:M,U:M,...> [--top N]
   tcss evaluate  --data <stem> --model <file> [--test-fraction F]
   tcss serve     --data <stem> --model <file> [--addr A] [--threads N] [--queue-depth D]
+                 [--deadline-ms D] [--idle-timeout-ms I] [--drain-timeout-ms T]
   tcss query     --addr <host:port> --user U --month M [--top N]
+                 [--timeout-ms T] [--retries N]
 
 <stem> names the CSV triplet <stem>.pois.csv / .checkins.csv / .edges.csv.
 
 serving:
   tcss serve binds a wire-protocol server (default 127.0.0.1:0, i.e. an
-  OS-assigned port printed on startup) and blocks until killed. --threads
-  sets worker readiness loops (default 2); --queue-depth bounds admitted
-  in-flight requests (default 1024) — beyond it, requests are answered
-  with a typed Overloaded response instead of queueing. tcss query sends
-  one recommendation request to a running server.
+  OS-assigned port printed on startup) and runs until SIGINT/SIGTERM.
+  --threads sets worker readiness loops (default 2); --queue-depth bounds
+  admitted in-flight requests (default 1024) — beyond it, requests are
+  answered with a typed Overloaded response instead of queueing.
+  --deadline-ms answers requests that waited longer than D before scoring
+  with a typed DeadlineExceeded error; --idle-timeout-ms reaps
+  connections silent for I ms. On SIGINT/SIGTERM the server drains
+  gracefully — stops accepting, finishes in-flight batches, flushes
+  queued responses — force-closing stragglers after --drain-timeout-ms
+  (default 5000). tcss query sends one recommendation request to a
+  running server; --timeout-ms bounds each socket read (default 10000)
+  and --retries retries Overloaded/transient failures with deterministic
+  capped exponential backoff (default 0).
 
 fault tolerance:
   --checkpoint-dir <dir>  write a rolling checkpoint to <dir>/checkpoint.tcssck
@@ -316,6 +326,32 @@ fn cmd_recommend_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Signal handling for `tcss serve` — declared by hand (std already links
+// libc; same posture as the serving crate's `poll` declaration). The
+// handler only flips an atomic; the drain itself runs on the main thread.
+
+static STOP_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn request_stop(_signum: std::ffi::c_int) {
+    STOP_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn install_stop_handlers() {
+    const SIGINT: std::ffi::c_int = 2;
+    const SIGTERM: std::ffi::c_int = 15;
+    extern "C" {
+        fn signal(signum: std::ffi::c_int, handler: usize) -> usize;
+    }
+    // SAFETY: request_stop is async-signal-safe (one atomic store) and
+    // has the handler ABI signal(2) expects.
+    unsafe {
+        let handler = request_stop as extern "C" fn(std::ffi::c_int) as *const () as usize;
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let data = load(req(args, "--data")?)?;
     let model = load_model_checked(req(args, "--model")?, &data)?;
@@ -329,16 +365,50 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = opt(args, "--queue-depth") {
         cfg.queue_depth = parse(v, "--queue-depth")?;
     }
+    if let Some(v) = opt(args, "--deadline-ms") {
+        cfg.request_deadline = Some(std::time::Duration::from_millis(parse(v, "--deadline-ms")?));
+    }
+    if let Some(v) = opt(args, "--idle-timeout-ms") {
+        cfg.idle_timeout = Some(std::time::Duration::from_millis(parse(
+            v,
+            "--idle-timeout-ms",
+        )?));
+    }
+    let drain_timeout = std::time::Duration::from_millis(match opt(args, "--drain-timeout-ms") {
+        Some(v) => parse(v, "--drain-timeout-ms")?,
+        None => 5000u64,
+    });
     let (i, j, k) = model.dims();
     let engine = std::sync::Arc::new(ServingEngine::new(model));
-    let handle = tcss::serve::net::NetServer::start(engine, cfg)
+    let mut handle = tcss::serve::net::NetServer::start(engine, cfg)
         .map_err(|e| format!("starting server: {e}"))?;
     println!(
         "serving {i} users × {j} POIs × {k} slots on {}",
         handle.addr()
     );
-    println!("listening; press Ctrl-C to stop");
-    handle.join();
+    println!("listening; Ctrl-C (or SIGTERM) drains and stops");
+    install_stop_handlers();
+    while !STOP_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!(
+        "signal received; draining (timeout {} ms)...",
+        drain_timeout.as_millis()
+    );
+    let clean = handle.drain(drain_timeout);
+    let m = handle.metrics();
+    println!(
+        "drained {}: {} requests served ({} ok, {} shed, {} errors), {} deadline misses, \
+         {} panics isolated, {} idle reaps",
+        if clean { "cleanly" } else { "with force-close" },
+        m.requests,
+        m.ok,
+        m.overloaded,
+        m.errors,
+        m.deadline_exceeded,
+        m.panics,
+        m.reaped_idle
+    );
     Ok(())
 }
 
@@ -350,11 +420,25 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Some(v) => parse(v, "--top")?,
         None => 10,
     };
-    let mut client = tcss::serve::net::NetClient::connect(addr)
+    let mut ccfg = tcss::serve::net::ClientConfig::default();
+    if let Some(v) = opt(args, "--timeout-ms") {
+        ccfg.read_timeout = std::time::Duration::from_millis(parse(v, "--timeout-ms")?);
+    }
+    if let Some(v) = opt(args, "--retries") {
+        ccfg.retries = parse(v, "--retries")?;
+    }
+    let mut client = tcss::serve::net::NetClient::connect_with_config(addr, ccfg)
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
     let resp = client
-        .recommend(user, month, top)
+        .recommend_with_retry(user, month, top)
         .map_err(|e| format!("query failed: {e}"))?;
+    let stats = client.stats();
+    if stats.retries > 0 {
+        eprintln!(
+            "note: {} retry attempt(s), {} reconnect(s)",
+            stats.retries, stats.reconnects
+        );
+    }
     match resp.body {
         tcss::serve::net::ResponseBody::Ranking { version, items } => {
             println!("top-{top} POIs for user {user} in month {month} (model v{version}):");
