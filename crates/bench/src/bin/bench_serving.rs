@@ -19,14 +19,26 @@
 //! `scores_for` for that request (the run aborts otherwise), and the
 //! result is recorded as `"parity_bitwise"` in the JSON.
 //!
+//! The run then measures the **compact snapshot** path (DESIGN.md §5h)
+//! for both quantization modes: payload bytes against the f64 model's
+//! `num_params × 8` budget (the ≤ 55 % acceptance gate), per-user bytes,
+//! cold-start time of the full-verify `open` and the O(1) `open_fast`
+//! against a `load_model` parse of the same model, measured top-10
+//! agreement against f64 `scores_for` over the working set, and peak RSS
+//! (`VmHWM` from `/proc/self/status`, reset between phases via
+//! `/proc/self/clear_refs`) while serving the same request stream from
+//! the f64 engine and from each mmapped snapshot.
+//!
 //! `TCSS_BENCH_SMOKE=1` shrinks the fixture to CI-smoke sizes: the run
 //! finishes in seconds and only the JSON shape is meaningful.
 
+use std::path::Path;
 use std::time::Instant;
 
-use tcss_core::{random_init, TcssModel};
+use tcss_core::{load_model, random_init, save_model, TcssModel};
 use tcss_linalg::set_num_threads;
-use tcss_serve::{ScoreRequest, ServingEngine};
+use tcss_serve::snapshot::{write_snapshot, SnapshotModel};
+use tcss_serve::{QuantMode, ScoreRequest, ServingEngine};
 
 const TOP_N: usize = 10;
 const THREADS: [usize; 3] = [1, 2, 4];
@@ -137,6 +149,105 @@ struct Row {
     warm_rps: f64,
 }
 
+// --- compact-snapshot measurements (DESIGN.md §5h) -----------------------
+
+struct SnapRow {
+    mode: QuantMode,
+    payload_bytes: usize,
+    file_bytes: usize,
+    payload_pct_of_f64: f64,
+    bytes_per_user: f64,
+    cold_open_us: f64,
+    cold_open_fast_us: f64,
+    top10_agreement: f64,
+    peak_rss_kb: u64,
+}
+
+/// `VmHWM` (peak resident set) in kB from `/proc/self/status`; 0 where
+/// procfs is unavailable (the JSON field stays shape-valid).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Reset the peak-RSS watermark (`echo 5 > /proc/self/clear_refs`) so the
+/// next [`peak_rss_kb`] read reflects only the phase that follows.
+/// Best-effort: unprivileged kernels that refuse the write just leave the
+/// watermark cumulative, which only ever over-reports.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Fastest-of-5 wall time of `f`, in microseconds.
+fn best_us<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    best as f64 / 1e3
+}
+
+/// Peak RSS (kB) while serving `stream` once through `engine` in batches
+/// of 32, with the watermark reset immediately before the phase.
+fn serving_peak_rss(engine: &ServingEngine, stream: &[ScoreRequest]) -> u64 {
+    reset_peak_rss();
+    for chunk in stream.chunks(32) {
+        std::hint::black_box(engine.recommend_batch(chunk, TOP_N).expect("in range"));
+    }
+    peak_rss_kb()
+}
+
+/// Mean top-10 membership overlap between the f64 model and the snapshot
+/// over `pairs`.
+fn top10_agreement(model: &TcssModel, snap: &SnapshotModel, pairs: &[ScoreRequest]) -> f64 {
+    let mut overlap = 0usize;
+    for q in pairs {
+        let want: Vec<usize> = tcss_core::topn::top_n(&model.scores_for(q.user, q.time), TOP_N)
+            .iter()
+            .map(|&(p, _)| p)
+            .collect();
+        let got = tcss_core::topn::top_n(&snap.scores_for(q.user, q.time), TOP_N);
+        overlap += got.iter().filter(|&&(p, _)| want.contains(&p)).count();
+    }
+    overlap as f64 / (pairs.len() * TOP_N) as f64
+}
+
+fn measure_snapshot(fx: &Fixture, mode: QuantMode, dir: &Path, stream: &[ScoreRequest]) -> SnapRow {
+    let path = dir.join(format!("bench-{mode}.tcsssnap"));
+    write_snapshot(&fx.model, mode, &path).expect("write snapshot");
+    let cold_open_us = best_us(|| SnapshotModel::open(&path).expect("open"));
+    let cold_open_fast_us = best_us(|| SnapshotModel::open_fast(&path).expect("open_fast"));
+
+    let snap = SnapshotModel::open(&path).expect("open");
+    let f64_bytes = fx.model.num_params() * 8;
+    let (users, _, _) = fx.model.dims();
+    let payload_bytes = snap.payload_bytes();
+    let file_bytes = snap.file_bytes();
+    let agreement = top10_agreement(&fx.model, &snap, &fx.all_pairs[..fx.working_set]);
+
+    let engine = ServingEngine::new(SnapshotModel::open(&path).expect("open"));
+    let peak = serving_peak_rss(&engine, stream);
+
+    SnapRow {
+        mode,
+        payload_bytes,
+        file_bytes,
+        payload_pct_of_f64: 100.0 * payload_bytes as f64 / f64_bytes as f64,
+        bytes_per_user: payload_bytes as f64 / users as f64,
+        cold_open_us,
+        cold_open_fast_us,
+        top10_agreement: agreement,
+        peak_rss_kb: peak,
+    }
+}
+
 fn main() {
     let smoke = std::env::var("TCSS_BENCH_SMOKE").is_ok();
     let fx = fixture(smoke);
@@ -231,6 +342,63 @@ fn main() {
     set_num_threads(None);
     println!("warm top-n cache hit rate (last run): {warm_hit_rate:.4}");
 
+    // --- compact snapshots ------------------------------------------------
+    let dir = std::env::temp_dir().join(format!("tcss-bench-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("snapshot scratch dir");
+    let stream: Vec<ScoreRequest> = (0..fx.n_requests)
+        .map(|r| working[r % working.len()])
+        .collect();
+
+    // Cold-start baseline: parse the f64 text checkpoint back into a model.
+    let f64_path = dir.join("bench-f64.model");
+    save_model(&fx.model, &f64_path).expect("save f64 model");
+    let f64_load_us = best_us(|| load_model(&f64_path).expect("load f64 model"));
+    let f64_engine = ServingEngine::new(fx.model.clone());
+    let f64_peak_rss_kb = serving_peak_rss(&f64_engine, &stream);
+    drop(f64_engine);
+    let f64_bytes = fx.model.num_params() * 8;
+    println!(
+        "f64 baseline: {f64_bytes} model bytes, load {f64_load_us:.1} µs, \
+         serving peak RSS {f64_peak_rss_kb} kB"
+    );
+
+    let snap_rows: Vec<SnapRow> = [QuantMode::F32, QuantMode::I16]
+        .into_iter()
+        .map(|mode| measure_snapshot(&fx, mode, &dir, &stream))
+        .collect();
+    for s in &snap_rows {
+        println!(
+            "snapshot {}: {} payload bytes ({:.1}% of f64), {:.1} B/user, \
+             open {:.1} µs / open_fast {:.1} µs, top-10 agreement {:.4}, \
+             serving peak RSS {} kB",
+            s.mode,
+            s.payload_bytes,
+            s.payload_pct_of_f64,
+            s.bytes_per_user,
+            s.cold_open_us,
+            s.cold_open_fast_us,
+            s.top10_agreement,
+            s.peak_rss_kb
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Acceptance gates (ROADMAP): the f32 snapshot must fit the ≤ 55 %
+    // budget in every fixture; the agreement floor is asserted at full
+    // size only — the smoke fixture's tiny top-10 pool makes a single
+    // quantization tie-flip worth > 0.1 %.
+    let f32_row = &snap_rows[0];
+    assert!(
+        f32_row.payload_pct_of_f64 <= 55.0,
+        "f32 snapshot payload {:.1}% exceeds the 55% budget",
+        f32_row.payload_pct_of_f64
+    );
+    assert!(
+        f32_row.top10_agreement >= if smoke { 0.95 } else { 0.999 },
+        "f32 top-10 agreement {:.5} below the acceptance floor",
+        f32_row.top10_agreement
+    );
+
     // --- JSON -------------------------------------------------------------
     let mut json = String::from("{\n  \"group\": \"serving\",\n");
     json.push_str(&format!("  \"fixture\": \"{}\",\n", fx.name));
@@ -257,7 +425,31 @@ fn main() {
             r.warm_rps / r.baseline_rps
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"snapshot\": {{\n    \"f64_model_bytes\": {f64_bytes},\n    \
+         \"f64_load_us\": {f64_load_us:.1},\n    \
+         \"f64_peak_rss_kb\": {f64_peak_rss_kb},\n    \"modes\": [\n"
+    ));
+    for (idx, s) in snap_rows.iter().enumerate() {
+        let sep = if idx + 1 == snap_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"payload_bytes\": {}, \"file_bytes\": {}, \
+             \"payload_pct_of_f64\": {:.2}, \"bytes_per_user\": {:.1}, \
+             \"cold_open_us\": {:.1}, \"cold_open_fast_us\": {:.1}, \
+             \"top10_agreement\": {:.5}, \"peak_rss_kb\": {}}}{sep}\n",
+            s.mode,
+            s.payload_bytes,
+            s.file_bytes,
+            s.payload_pct_of_f64,
+            s.bytes_per_user,
+            s.cold_open_us,
+            s.cold_open_fast_us,
+            s.top10_agreement,
+            s.peak_rss_kb
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_serving.json", json).expect("write BENCH_serving.json");
     println!("wrote BENCH_serving.json");
 }

@@ -63,6 +63,29 @@
 /// Fixed vector width (f64 lanes) of every kernel in this module.
 pub const LANES: usize = 4;
 
+/// Fixed vector width (f32 lanes) of the single-precision kernels.
+///
+/// Eight f32 lanes fill the same 256-bit AVX2 register four f64 lanes do,
+/// so the f32 family runs at **double the effective SIMD width** of the
+/// f64 family on the same hardware — the whole point of the quantized
+/// serving snapshots that consume these kernels. The canonical reduction
+/// order mirrors the f64 contract with eight lanes instead of four:
+///
+/// ```text
+/// n   = len - len % LANES_F32
+/// s_l = Σ_{i < n, i ≡ l (mod 8)} term(i)          for l = 0..8
+/// out = (((s_0+s_1)+(s_2+s_3)) + ((s_4+s_5)+(s_6+s_7))) + term(n) + …
+/// ```
+///
+/// i.e. lane `l` accumulates every 8th term ascending, the eight lane
+/// sums combine as a fixed three-level pairwise tree, and tail terms fold
+/// in sequentially. For `len < 8` the kernel degenerates to the plain
+/// left-to-right sum. The order is a pure function of the input length —
+/// never of the thread count — so the workspace-wide bitwise determinism
+/// contract extends to the f32 lanes unchanged (pinned by the reference
+/// implementations in `tests/kernel_parity.rs`).
+pub const LANES_F32: usize = 8;
+
 /// Multi-accumulator dot product `Σ a[i]·b[i]` in the canonical lane order
 /// (see the module docs). Slices must have equal length.
 #[inline]
@@ -212,6 +235,93 @@ pub fn update_row_quad(
         acc += w[2] * r2[i];
         acc += w[3] * r3[i];
         out[i] = acc;
+    }
+}
+
+/// Multi-accumulator f32 dot product `Σ a[i]·b[i]` in the canonical
+/// eight-lane order (see [`LANES_F32`]). Slices must have equal length.
+///
+/// This is the snapshot-serving score kernel: with `a` a request's
+/// quantized weight vector and `b` an f32 POI row straight out of an
+/// mmap-ed snapshot, one call produces one score.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() - a.len() % LANES_F32;
+    let (a_main, a_tail) = a.split_at(n);
+    let (b_main, b_tail) = b.split_at(n);
+    let mut acc = [0.0f32; LANES_F32];
+    for (ca, cb) in a_main
+        .chunks_exact(LANES_F32)
+        .zip(b_main.chunks_exact(LANES_F32))
+    {
+        for l in 0..LANES_F32 {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Mixed-precision dot `Σ a[i]·f32(q[i])` in the canonical eight-lane
+/// order: each i16 term widens to f32 in-register before the multiply.
+///
+/// This is the fixed-point snapshot score kernel — the quantized POI row
+/// `q` stays i16 in memory (half the f32 footprint) and the caller folds
+/// the row's dequantization scale into the *result*
+/// (`score = scale · dot_f32_i16(w, q)`), so the full-precision row never
+/// materializes anywhere.
+#[inline]
+pub fn dot_f32_i16(a: &[f32], q: &[i16]) -> f32 {
+    debug_assert_eq!(a.len(), q.len());
+    let n = a.len() - a.len() % LANES_F32;
+    let (a_main, a_tail) = a.split_at(n);
+    let (q_main, q_tail) = q.split_at(n);
+    let mut acc = [0.0f32; LANES_F32];
+    for (ca, cq) in a_main
+        .chunks_exact(LANES_F32)
+        .zip(q_main.chunks_exact(LANES_F32))
+    {
+        for l in 0..LANES_F32 {
+            acc[l] += ca[l] * f32::from(cq[l]);
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&x, &qv) in a_tail.iter().zip(q_tail.iter()) {
+        s += x * f32::from(qv);
+    }
+    s
+}
+
+/// Elementwise triple product `out[i] = (a[i]·b[i])·c[i]` (left-to-right
+/// association, no cross-element reduction — bitwise equal to the scalar
+/// loop). This builds the f32 weight vector `h ⊙ U¹ᵢ ⊙ U³ₖ` of the
+/// snapshot scoring path.
+#[inline]
+pub fn mul3_f32(a: &[f32], b: &[f32], c: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    debug_assert_eq!(b.len(), out.len());
+    debug_assert_eq!(c.len(), out.len());
+    let n = out.len();
+    let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+    for i in 0..n {
+        out[i] = (a[i] * b[i]) * c[i];
+    }
+}
+
+/// Elementwise dequantization `out[i] = f32(q[i]) · scale` (no reduction;
+/// bitwise equal to the scalar loop). Used for the i16 snapshot rows that
+/// feed the weight-vector build, where the dequantized row *is* needed.
+#[inline]
+pub fn dequant_i16(q: &[i16], scale: f32, out: &mut [f32]) {
+    debug_assert_eq!(q.len(), out.len());
+    let n = out.len();
+    let q = &q[..n];
+    for i in 0..n {
+        out[i] = f32::from(q[i]) * scale;
     }
 }
 

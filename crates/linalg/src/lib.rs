@@ -18,6 +18,8 @@
 //! * [`kernels`] — fixed-lane ([`LANES`] = 4) autovectorized f64 primitives
 //!   that the hot paths (tiled `matmul`/`gram`, model scoring, gradient
 //!   backprop) are built on; see its docs for the reduction-order contract.
+//!   The serving-snapshot layer adds f32 lanes ([`LANES_F32`] = 8) and the
+//!   [`lowp`] batched low-precision `W · U²ᵀ` paths over f32 / i16 operands.
 //! * [`qr::qr_thin`] / [`qr::orthonormalize`] — Householder QR.
 //! * [`eigen::jacobi_eigen`] — full symmetric eigendecomposition.
 //! * [`eigen::top_r_eigenvectors`] — blocked orthogonal iteration over an
@@ -31,6 +33,7 @@
 
 pub mod eigen;
 pub mod kernels;
+pub mod lowp;
 pub mod matrix;
 pub mod parallel;
 pub mod qr;
@@ -40,7 +43,7 @@ pub mod svd;
 pub mod vector;
 
 pub use eigen::{jacobi_eigen, top_r_eigenvectors, DenseSymOp, SymOp};
-pub use kernels::LANES;
+pub use kernels::{LANES, LANES_F32};
 pub use matrix::Matrix;
 pub use parallel::{
     fold_chunks, map_chunks, map_chunks_with, num_threads, set_num_threads, PoolGuard,

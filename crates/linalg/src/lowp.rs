@@ -1,0 +1,167 @@
+//! Low-precision batched scoring: `W · U²ᵀ` over f32 and per-row-scaled
+//! i16 operands.
+//!
+//! These are the serving-snapshot counterparts of
+//! [`Matrix::matmul_nt`](crate::Matrix::matmul_nt): the left operand `W`
+//! packs one f32 weight vector per request row, the right operand is a
+//! factor matrix straight out of a quantized snapshot (f32 rows, or i16
+//! rows with one dequantization scale per row), and row `b` of the output
+//! is the full score vector of request `b`.
+//!
+//! **Bitwise contract.** Every output element is exactly
+//! [`kernels::dot_f32`] (f32 operand) or
+//! `scale[j] · kernels::dot_f32_i16(w_row, q_row)` (i16 operand) — the
+//! canonical eight-lane reduction order of [`kernels::LANES_F32`]. That is
+//! the same kernel, in the same operand order, as the per-POI scoring loop
+//! of the snapshot model's `scores_for`, so a batched row is **bit-for-
+//! bit** equal to the per-request path. Parallelism splits only the output
+//! grid (rows of `W`, via [`crate::parallel::map_chunks`]), never a
+//! reduction, so results are thread-count independent — the f64 layer's
+//! determinism contract, carried over unchanged.
+//!
+//! Operands are plain slices (row-major, row stride = `r`) rather than a
+//! dedicated f32 matrix type: the right operand is borrowed directly from
+//! an `mmap`-ed snapshot section and never owned by this crate.
+
+use crate::kernels;
+
+/// Rows of the right operand per cache-resident block. A 64-row f32 block
+/// at rank ≤ 64 is ≤ 16 KiB — half the f64 footprint — so it stays L1-hot
+/// while every request row of a chunk streams over it.
+const NT_ROWS_BLOCK: usize = 64;
+
+/// Rows of `W` (requests) per parallel chunk; matches the f64 matmul's
+/// chunk grid so thread-count-independence arguments carry over verbatim.
+const ROWS_PER_CHUNK: usize = 64;
+
+/// `out[b*j_rows + j] = dot_f32(w[b], u[j])` for row-major `w` (`b_rows ×
+/// r`) and `u` (`j_rows × r`).
+///
+/// Panics on shape mismatch (`debug_assert` in release-hot paths would
+/// hide real layout bugs in the snapshot borrow chain).
+pub fn matmul_nt_f32(
+    w: &[f32],
+    b_rows: usize,
+    u: &[f32],
+    j_rows: usize,
+    r: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(w.len(), b_rows * r, "W shape mismatch");
+    assert_eq!(u.len(), j_rows * r, "U shape mismatch");
+    assert_eq!(out.len(), b_rows * j_rows, "output shape mismatch");
+    let chunks = crate::parallel::map_chunks(b_rows, ROWS_PER_CHUNK, |range| {
+        let mut block = vec![0.0f32; range.len() * j_rows];
+        let mut jb = 0;
+        while jb < j_rows {
+            let j_hi = (jb + NT_ROWS_BLOCK).min(j_rows);
+            for (bi, b) in range.clone().enumerate() {
+                let w_row = &w[b * r..(b + 1) * r];
+                let out_row = &mut block[bi * j_rows + jb..bi * j_rows + j_hi];
+                let u_rows = u[jb * r..j_hi * r].chunks_exact(r);
+                for (o, u_row) in out_row.iter_mut().zip(u_rows) {
+                    *o = kernels::dot_f32(w_row, u_row);
+                }
+            }
+            jb = j_hi;
+        }
+        block
+    });
+    let mut off = 0;
+    for block in chunks {
+        out[off..off + block.len()].copy_from_slice(&block);
+        off += block.len();
+    }
+}
+
+/// Fixed-point variant: `out[b*j_rows + j] = scales[j] ·
+/// dot_f32_i16(w[b], q[j])` for row-major i16 `q` (`j_rows × r`) with one
+/// f32 dequantization scale per row. The quantized operand is read as
+/// i16 — the full-precision matrix never materializes.
+pub fn matmul_nt_i16(
+    w: &[f32],
+    b_rows: usize,
+    q: &[i16],
+    scales: &[f32],
+    j_rows: usize,
+    r: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(w.len(), b_rows * r, "W shape mismatch");
+    assert_eq!(q.len(), j_rows * r, "Q shape mismatch");
+    assert_eq!(scales.len(), j_rows, "one scale per Q row");
+    assert_eq!(out.len(), b_rows * j_rows, "output shape mismatch");
+    let chunks = crate::parallel::map_chunks(b_rows, ROWS_PER_CHUNK, |range| {
+        let mut block = vec![0.0f32; range.len() * j_rows];
+        let mut jb = 0;
+        while jb < j_rows {
+            let j_hi = (jb + NT_ROWS_BLOCK).min(j_rows);
+            for (bi, b) in range.clone().enumerate() {
+                let w_row = &w[b * r..(b + 1) * r];
+                let out_row = &mut block[bi * j_rows + jb..bi * j_rows + j_hi];
+                let q_rows = q[jb * r..j_hi * r].chunks_exact(r);
+                let s_rows = scales[jb..j_hi].iter();
+                for ((o, q_row), &s) in out_row.iter_mut().zip(q_rows).zip(s_rows) {
+                    *o = s * kernels::dot_f32_i16(w_row, q_row);
+                }
+            }
+            jb = j_hi;
+        }
+        block
+    });
+    let mut off = 0;
+    for block in chunks {
+        out[off..off + block.len()].copy_from_slice(&block);
+        off += block.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wv(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn f32_elements_match_dot_kernel_bitwise() {
+        for (b, j, r) in [(1, 1, 1), (3, 5, 4), (7, 70, 9), (65, 130, 16)] {
+            let w = wv(b * r, |i| ((i * 7) as f32 * 0.013).sin());
+            let u = wv(j * r, |i| ((i * 3) as f32 * 0.029).cos());
+            let mut out = vec![0.0f32; b * j];
+            matmul_nt_f32(&w, b, &u, j, r, &mut out);
+            for bi in 0..b {
+                for ji in 0..j {
+                    let want = kernels::dot_f32(&w[bi * r..(bi + 1) * r], &u[ji * r..(ji + 1) * r]);
+                    assert_eq!(out[bi * j + ji].to_bits(), want.to_bits(), "({bi},{ji})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i16_elements_match_scaled_dot_kernel_bitwise() {
+        for (b, j, r) in [(1, 1, 1), (4, 66, 8), (9, 63, 11)] {
+            let w = wv(b * r, |i| (i as f32 * 0.11).sin());
+            let q: Vec<i16> = (0..j * r).map(|i| ((i * 241) % 501) as i16 - 250).collect();
+            let scales = wv(j, |i| 1.0e-3 + i as f32 * 1.0e-5);
+            let mut out = vec![0.0f32; b * j];
+            matmul_nt_i16(&w, b, &q, &scales, j, r, &mut out);
+            for bi in 0..b {
+                for ji in 0..j {
+                    let want = scales[ji]
+                        * kernels::dot_f32_i16(&w[bi * r..(bi + 1) * r], &q[ji * r..(ji + 1) * r]);
+                    assert_eq!(out[bi * j + ji].to_bits(), want.to_bits(), "({bi},{ji})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut out = vec![0.0f32; 4];
+        matmul_nt_f32(&[0.0; 3], 1, &[0.0; 8], 4, 2, &mut out);
+    }
+}

@@ -14,9 +14,10 @@
 
 use proptest::prelude::*;
 use tcss_linalg::kernels::{
-    axpy, dot, dot4, fused_mul3_axpy, fused_mul_axpy, sum, update_row_quad,
+    axpy, dequant_i16, dot, dot4, dot_f32, dot_f32_i16, fused_mul3_axpy, fused_mul_axpy, mul3_f32,
+    sum, update_row_quad,
 };
-use tcss_linalg::{set_num_threads, Matrix, LANES};
+use tcss_linalg::{lowp, set_num_threads, Matrix, LANES, LANES_F32};
 
 /// Sizes straddling the lane boundary and the 64-wide tile boundary.
 const BOUNDARY_SIZES: [usize; 11] = [0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65];
@@ -156,6 +157,148 @@ proptest! {
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         prop_assert_eq!(bits(&got), bits(&want));
     }
+}
+
+/// Sizes straddling the f32 lane boundary (`LANES_F32` = 8) and the 64-wide
+/// blocking boundary of the low-precision matmuls.
+const BOUNDARY_SIZES_F32: [usize; 12] = [0, 1, 7, 8, 9, 15, 16, 17, 23, 63, 64, 65];
+
+/// The documented canonical f32 reduction order, applied to precomputed
+/// terms: lane `l` sums every `LANES_F32`-th term ascending, lanes combine
+/// as `((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7))`, the tail folds in
+/// sequentially. Written from the module-docs pseudocode, sharing no code
+/// with the kernels.
+fn lanes_reduce_f32(terms: &[f32]) -> f32 {
+    let n = terms.len() - terms.len() % LANES_F32;
+    let mut lane = [0.0f32; LANES_F32];
+    for (i, &t) in terms[..n].iter().enumerate() {
+        lane[i % LANES_F32] += t;
+    }
+    let mut s =
+        ((lane[0] + lane[1]) + (lane[2] + lane[3])) + ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+    for &t in &terms[n..] {
+        s += t;
+    }
+    s
+}
+
+fn len_strategy_f32() -> impl Strategy<Value = usize> {
+    (0usize..108).prop_map(|i| {
+        if i < 48 {
+            BOUNDARY_SIZES_F32[i % BOUNDARY_SIZES_F32.len()]
+        } else {
+            i + 18 // 66..126
+        }
+    })
+}
+
+fn vec_strategy_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f64..2.0, len)
+        .prop_map(|v| v.into_iter().map(|x| x as f32).collect())
+}
+
+fn i16_strategy(len: usize) -> impl Strategy<Value = Vec<i16>> {
+    proptest::collection::vec(-32767i32..=32767, len)
+        .prop_map(|v| v.into_iter().map(|x| x as i16).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `dot_f32` follows the canonical eight-lane order exactly.
+    #[test]
+    fn dot_f32_is_canonical_order(
+        (a, b) in len_strategy_f32().prop_flat_map(|n| (vec_strategy_f32(n), vec_strategy_f32(n)))
+    ) {
+        let terms: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        prop_assert_eq!(dot_f32(&a, &b).to_bits(), lanes_reduce_f32(&terms).to_bits());
+    }
+
+    /// `dot_f32_i16`: each term widens the i16 operand to f32 in-register,
+    /// then the canonical order applies unchanged.
+    #[test]
+    fn dot_f32_i16_is_canonical_order(
+        (a, q) in len_strategy_f32().prop_flat_map(|n| (vec_strategy_f32(n), i16_strategy(n)))
+    ) {
+        let terms: Vec<f32> = a.iter().zip(&q).map(|(&x, &qi)| x * f32::from(qi)).collect();
+        prop_assert_eq!(dot_f32_i16(&a, &q).to_bits(), lanes_reduce_f32(&terms).to_bits());
+    }
+
+    /// The elementwise f32 kernels are bit-for-bit the scalar loops they
+    /// replaced — no cross-element reduction, so lanes must be invisible.
+    #[test]
+    fn elementwise_f32_kernels_match_scalar_loops(
+        (a, b, c, q, s) in len_strategy_f32().prop_flat_map(|n| {
+            (
+                vec_strategy_f32(n),
+                vec_strategy_f32(n),
+                vec_strategy_f32(n),
+                i16_strategy(n),
+                -2.0f64..2.0,
+            )
+        })
+    ) {
+        let s = s as f32;
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+        let mut got = vec![0.0f32; a.len()];
+        mul3_f32(&a, &b, &c, &mut got);
+        let want: Vec<f32> = (0..a.len()).map(|i| (a[i] * b[i]) * c[i]).collect();
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        dequant_i16(&q, s, &mut got);
+        let want: Vec<f32> = q.iter().map(|&qi| f32::from(qi) * s).collect();
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+}
+
+/// The low-precision batched matmuls are bitwise identical at 1/2/4
+/// threads at blocking-boundary shapes: every output element is one
+/// fixed-order dot, and parallelism splits only the output grid.
+#[test]
+fn lowp_matmul_thread_parity_at_block_boundaries() {
+    for &(b_rows, j_rows, r) in &[
+        (1usize, 1usize, 1usize),
+        (63, 65, 8),
+        (65, 129, 9),
+        (64, 64, 16),
+    ] {
+        let w: Vec<f32> = (0..b_rows * r)
+            .map(|i| ((i * 7) as f32 * 0.013).sin())
+            .collect();
+        let u: Vec<f32> = (0..j_rows * r)
+            .map(|i| ((i * 3) as f32 * 0.029).cos())
+            .collect();
+        let q: Vec<i16> = (0..j_rows * r)
+            .map(|i| ((i * 241) % 501) as i16 - 250)
+            .collect();
+        let scales: Vec<f32> = (0..j_rows).map(|j| 1.0e-3 + j as f32 * 1.0e-5).collect();
+        set_num_threads(Some(1));
+        let mut want_f = vec![0.0f32; b_rows * j_rows];
+        let mut want_q = vec![0.0f32; b_rows * j_rows];
+        lowp::matmul_nt_f32(&w, b_rows, &u, j_rows, r, &mut want_f);
+        lowp::matmul_nt_i16(&w, b_rows, &q, &scales, j_rows, r, &mut want_q);
+        for threads in [2usize, 4] {
+            set_num_threads(Some(threads));
+            let mut got_f = vec![0.0f32; b_rows * j_rows];
+            let mut got_q = vec![0.0f32; b_rows * j_rows];
+            lowp::matmul_nt_f32(&w, b_rows, &u, j_rows, r, &mut got_f);
+            lowp::matmul_nt_i16(&w, b_rows, &q, &scales, j_rows, r, &mut got_q);
+            let same = want_f
+                .iter()
+                .zip(&got_f)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+                && want_q
+                    .iter()
+                    .zip(&got_q)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                same,
+                "lowp matmul {b_rows}x{j_rows}x{r} differs at {threads} threads"
+            );
+        }
+    }
+    set_num_threads(None);
 }
 
 fn filled(rows: usize, cols: usize, phase: f64) -> Matrix {

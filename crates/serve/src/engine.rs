@@ -5,12 +5,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use tcss_core::{topn, TcssModel};
-use tcss_linalg::Matrix;
+use tcss_core::topn;
+use tcss_linalg::{lowp, Matrix};
 
 use crate::cache::{VersionedCache, DEFAULT_SHARDS};
-use crate::handle::{ModelHandle, ModelSnapshot};
+use crate::handle::{ModelHandle, ModelSnapshot, ServingModel};
 use crate::metrics::{MetricsInner, ServingMetrics, StageHistograms};
+use crate::snapshot::{QuantMode, SnapshotModel};
 use crate::{ScoreRequest, ServeError};
 
 /// Scores for one batch: row `b` holds the full `J`-long score vector of
@@ -27,6 +28,18 @@ pub struct ScoredBatch {
 /// (descending score, ascending POI on ties), shared with the top-`n`
 /// cache — a hit clones the `Arc`, never the list.
 pub type Ranking = Arc<Vec<(usize, f64)>>;
+
+/// One cached per-`(user, time)` weight vector, in the precision of the
+/// model that produced it. A version's entries are all one variant (the
+/// installed model is either f64 or compact), and version keying means a
+/// swap between precisions can never serve a stale-precision vector — but
+/// lookups still match on variant defensively and treat a mismatch as a
+/// miss.
+#[derive(Debug)]
+enum WeightVec {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
 
 /// Cache occupancy view (diagnostics/tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +76,7 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct ServingEngine {
     handle: ModelHandle,
-    weights: VersionedCache<(usize, usize), Vec<f64>>,
+    weights: VersionedCache<(usize, usize), WeightVec>,
     topn: VersionedCache<(usize, usize, usize), Vec<(usize, f64)>>,
     metrics: MetricsInner,
     /// Monotone count of requests entered into `recommend_batch_pinned`
@@ -78,15 +91,16 @@ pub struct ServingEngine {
 }
 
 impl ServingEngine {
-    /// Engine over `model` with the default cache shard count.
-    pub fn new(model: TcssModel) -> Self {
+    /// Engine over `model` (f64 training model or compact snapshot) with
+    /// the default cache shard count.
+    pub fn new(model: impl Into<ServingModel>) -> Self {
         Self::with_shards(model, DEFAULT_SHARDS)
     }
 
     /// Engine over `model` with `shards` cache shards (rounded up to a
     /// power of two; higher counts reduce shard contention under many
     /// serving threads).
-    pub fn with_shards(model: TcssModel, shards: usize) -> Self {
+    pub fn with_shards(model: impl Into<ServingModel>, shards: usize) -> Self {
         ServingEngine {
             handle: ModelHandle::new(model),
             weights: VersionedCache::with_shards(shards),
@@ -131,20 +145,25 @@ impl ServingEngine {
     /// finish on the snapshot they pinned; every cache entry from earlier
     /// versions becomes unreachable immediately (and can be reclaimed with
     /// [`ServingEngine::purge_stale`]).
-    pub fn swap_model(&self, model: TcssModel) -> u64 {
+    pub fn swap_model(&self, model: impl Into<ServingModel>) -> u64 {
         let version = self.handle.swap(model);
         MetricsInner::add(&self.metrics.model_swaps, 1);
         version
     }
 
     /// Eagerly reclaim cache entries from superseded versions, returning
-    /// `(weight_entries, topn_entries)` removed.
+    /// `(weight_entries, topn_entries)` removed. Reclaimed counts
+    /// accumulate into [`ServingMetrics::reaped_stale`] — the server's
+    /// periodic maintenance tick calls this, so operators see reaping in
+    /// the exit summary without a manual call.
     pub fn purge_stale(&self) -> (usize, usize) {
         let version = self.handle.version();
-        (
+        let reaped = (
             self.weights.purge_stale(version),
             self.topn.purge_stale(version),
-        )
+        );
+        MetricsInner::add(&self.metrics.reaped_stale, (reaped.0 + reaped.1) as u64);
+        reaped
     }
 
     /// Counter snapshot.
@@ -195,13 +214,28 @@ impl ServingEngine {
     }
 
     /// Pack the batch's weight vectors into `W` (`B × r`, weight cache
-    /// consulted per request) and score everything with one `W · U²ᵀ`.
+    /// consulted per request) and score everything with one `W · U²ᵀ` —
+    /// the f64 tiled matmul for a full-precision model, the low-precision
+    /// [`lowp`] path (f32 weights against f32 or per-row-scaled i16
+    /// factors, widened to f64 afterwards) for a compact snapshot.
     fn score_on(
         &self,
         snap: &ModelSnapshot,
         requests: &[ScoreRequest],
     ) -> Result<Matrix, ServeError> {
-        let r = snap.model.rank();
+        match &snap.model {
+            ServingModel::F64(model) => self.score_on_f64(snap, model, requests),
+            ServingModel::Compact(compact) => self.score_on_compact(snap, compact, requests),
+        }
+    }
+
+    fn score_on_f64(
+        &self,
+        snap: &ModelSnapshot,
+        model: &tcss_core::TcssModel,
+        requests: &[ScoreRequest],
+    ) -> Result<Matrix, ServeError> {
+        let r = model.rank();
         let t0 = Instant::now();
         let mut w = Matrix::zeros(requests.len(), r);
         let mut hits = 0u64;
@@ -209,15 +243,19 @@ impl ServingEngine {
         for (b, req) in requests.iter().enumerate() {
             Self::check_bounds(snap, req)?;
             let key = (req.user, req.time);
+            let mut hit = false;
             if let Some(cached) = self.weights.get(&key, snap.version) {
-                w.row_mut(b).copy_from_slice(&cached);
-                hits += 1;
-            } else {
-                snap.model
-                    .weight_vector_into(req.user, req.time, &mut scratch);
+                if let WeightVec::F64(v) = &*cached {
+                    w.row_mut(b).copy_from_slice(v);
+                    hits += 1;
+                    hit = true;
+                }
+            }
+            if !hit {
+                model.weight_vector_into(req.user, req.time, &mut scratch);
                 w.row_mut(b).copy_from_slice(&scratch);
                 self.weights
-                    .insert(key, snap.version, Arc::new(scratch.clone()));
+                    .insert(key, snap.version, Arc::new(WeightVec::F64(scratch.clone())));
             }
         }
         MetricsInner::add(&self.metrics.weight_hits, hits);
@@ -226,8 +264,65 @@ impl ServingEngine {
 
         let t1 = Instant::now();
         let scores = w
-            .matmul_nt(&snap.model.u2)
+            .matmul_nt(&model.u2)
             .expect("weight rows share the model's rank");
+        self.metrics.score_matmul.record(elapsed_ns(t1));
+        Ok(scores)
+    }
+
+    fn score_on_compact(
+        &self,
+        snap: &ModelSnapshot,
+        compact: &SnapshotModel,
+        requests: &[ScoreRequest],
+    ) -> Result<Matrix, ServeError> {
+        let r = compact.rank();
+        let j = compact.dims().1;
+        let t0 = Instant::now();
+        let mut w = vec![0.0f32; requests.len() * r];
+        let mut hits = 0u64;
+        let mut scratch = (Vec::new(), Vec::new());
+        let mut wbuf: Vec<f32> = Vec::with_capacity(r);
+        for (b, req) in requests.iter().enumerate() {
+            Self::check_bounds(snap, req)?;
+            let key = (req.user, req.time);
+            let mut hit = false;
+            if let Some(cached) = self.weights.get(&key, snap.version) {
+                if let WeightVec::F32(v) = &*cached {
+                    w[b * r..(b + 1) * r].copy_from_slice(v);
+                    hits += 1;
+                    hit = true;
+                }
+            }
+            if !hit {
+                compact.weight_vector_into(req.user, req.time, &mut scratch, &mut wbuf);
+                w[b * r..(b + 1) * r].copy_from_slice(&wbuf);
+                self.weights
+                    .insert(key, snap.version, Arc::new(WeightVec::F32(wbuf.clone())));
+            }
+        }
+        MetricsInner::add(&self.metrics.weight_hits, hits);
+        MetricsInner::add(&self.metrics.weight_misses, requests.len() as u64 - hits);
+        self.metrics.weight_build.record(elapsed_ns(t0));
+
+        let t1 = Instant::now();
+        let mut low = vec![0.0f32; requests.len() * j];
+        match compact.mode() {
+            QuantMode::F32 => {
+                lowp::matmul_nt_f32(&w, requests.len(), compact.u2_f32(), j, r, &mut low);
+            }
+            QuantMode::I16 => {
+                let (q2, s2) = compact.u2_i16();
+                lowp::matmul_nt_i16(&w, requests.len(), q2, s2, j, r, &mut low);
+            }
+        }
+        // Widen once for selection: `Ranking` stays `(usize, f64)` so the
+        // top-n cache, the wire protocol and the tie-break order are
+        // precision-agnostic downstream of this point.
+        let mut scores = Matrix::zeros(requests.len(), j);
+        for (dst, &src) in scores.as_mut_slice().iter_mut().zip(&low) {
+            *dst = f64::from(src);
+        }
         self.metrics.score_matmul.record(elapsed_ns(t1));
         Ok(scores)
     }
@@ -357,7 +452,7 @@ fn elapsed_ns(t: Instant) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcss_core::random_init;
+    use tcss_core::{random_init, TcssModel};
 
     fn engine(seed: u64) -> ServingEngine {
         let (u1, u2, u3) = random_init((4, 9, 3), 3, seed);

@@ -5,6 +5,82 @@ use std::sync::{Arc, RwLock};
 
 use tcss_core::TcssModel;
 
+use crate::snapshot::SnapshotModel;
+
+/// The model a snapshot serves from: either the full-precision f64
+/// training model, or a compact quantized snapshot scored straight out of
+/// its backing `mmap` (see [`crate::snapshot`]).
+///
+/// Both variants answer the same surface — [`dims`](ServingModel::dims),
+/// [`rank`](ServingModel::rank), [`scores_for`](ServingModel::scores_for)
+/// — so the engine, the wire server and the parity suites are agnostic to
+/// which one is installed. The f64 variant is bitwise-exact against
+/// [`TcssModel::scores_for`]; the compact variant carries the documented
+/// quantization error budget instead.
+#[derive(Debug)]
+pub enum ServingModel {
+    /// Full-precision f64 factors (the training model, verbatim).
+    F64(TcssModel),
+    /// Quantized flat snapshot (f32 or per-row-scaled i16 factors).
+    Compact(SnapshotModel),
+}
+
+impl ServingModel {
+    /// `(I, J, K)` dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match self {
+            ServingModel::F64(m) => m.dims(),
+            ServingModel::Compact(s) => s.dims(),
+        }
+    }
+
+    /// Embedding length `r`.
+    pub fn rank(&self) -> usize {
+        match self {
+            ServingModel::F64(m) => m.rank(),
+            ServingModel::Compact(s) => s.rank(),
+        }
+    }
+
+    /// Scores for every POI at `(user, time)` — the per-request reference
+    /// path every batched row is pinned against (bitwise for f64, bitwise
+    /// against the same lane kernels for compact).
+    pub fn scores_for(&self, user: usize, time: usize) -> Vec<f64> {
+        match self {
+            ServingModel::F64(m) => m.scores_for(user, time),
+            ServingModel::Compact(s) => s.scores_for(user, time),
+        }
+    }
+
+    /// The f64 training model, if that is what is installed.
+    pub fn as_f64(&self) -> Option<&TcssModel> {
+        match self {
+            ServingModel::F64(m) => Some(m),
+            ServingModel::Compact(_) => None,
+        }
+    }
+
+    /// The compact snapshot, if that is what is installed.
+    pub fn as_compact(&self) -> Option<&SnapshotModel> {
+        match self {
+            ServingModel::F64(_) => None,
+            ServingModel::Compact(s) => Some(s),
+        }
+    }
+}
+
+impl From<TcssModel> for ServingModel {
+    fn from(m: TcssModel) -> Self {
+        ServingModel::F64(m)
+    }
+}
+
+impl From<SnapshotModel> for ServingModel {
+    fn from(s: SnapshotModel) -> Self {
+        ServingModel::Compact(s)
+    }
+}
+
 /// An immutable model pinned to the version it was published under.
 ///
 /// Snapshots are what the serving hot path actually scores against: a
@@ -14,8 +90,8 @@ use tcss_core::TcssModel;
 /// and in-flight batches keep the old one alive until they drop it.
 #[derive(Debug)]
 pub struct ModelSnapshot {
-    /// The published model.
-    pub model: TcssModel,
+    /// The published model (f64 or compact; see [`ServingModel`]).
+    pub model: ServingModel,
     /// The version this model was published under (see [`ModelHandle`]).
     pub version: u64,
 }
@@ -38,7 +114,10 @@ pub struct ModelSnapshot {
 ///   version could validate an entry computed from the old model.
 ///
 /// Versions start at 1 and increase by 1 per swap, never repeating, so a
-/// version-keyed cache entry can never be revived by a later swap.
+/// version-keyed cache entry can never be revived by a later swap. The
+/// install-then-bump order and version stamping are identical whether the
+/// installed model is f64 or compact — swapping *between* precisions is an
+/// ordinary swap.
 #[derive(Debug)]
 pub struct ModelHandle {
     current: RwLock<Arc<ModelSnapshot>>,
@@ -47,9 +126,12 @@ pub struct ModelHandle {
 
 impl ModelHandle {
     /// Wrap an initial model as version 1.
-    pub fn new(model: TcssModel) -> Self {
+    pub fn new(model: impl Into<ServingModel>) -> Self {
         ModelHandle {
-            current: RwLock::new(Arc::new(ModelSnapshot { model, version: 1 })),
+            current: RwLock::new(Arc::new(ModelSnapshot {
+                model: model.into(),
+                version: 1,
+            })),
             version: AtomicU64::new(1),
         }
     }
@@ -74,10 +156,13 @@ impl ModelHandle {
     /// Every version-keyed cache entry produced from earlier snapshots is
     /// wholesale-invalidated by the version bump; in-flight batches pinned
     /// to an older snapshot run to completion on it.
-    pub fn swap(&self, model: TcssModel) -> u64 {
+    pub fn swap(&self, model: impl Into<ServingModel>) -> u64 {
         let mut slot = self.current.write().unwrap_or_else(|e| e.into_inner());
         let version = slot.version + 1;
-        *slot = Arc::new(ModelSnapshot { model, version });
+        *slot = Arc::new(ModelSnapshot {
+            model: model.into(),
+            version,
+        });
         // Publish the version only after the snapshot is installed (see
         // the type docs for why this order keeps caches consistent).
         self.version.store(version, Ordering::Release);
@@ -106,9 +191,30 @@ mod tests {
         let pinned = h.snapshot();
         assert_eq!(h.swap(model(2.0)), 2);
         assert_eq!(h.version(), 2);
-        assert_eq!(h.snapshot().model.u1.get(0, 0), 2.0);
+        let m2 = h.snapshot();
+        assert_eq!(m2.model.as_f64().expect("f64 installed").u1.get(0, 0), 2.0);
         // The pre-swap pin still sees the old model, untouched.
         assert_eq!(pinned.version, 1);
-        assert_eq!(pinned.model.u1.get(0, 0), 1.0);
+        assert_eq!(
+            pinned.model.as_f64().expect("f64 installed").u1.get(0, 0),
+            1.0
+        );
+    }
+
+    #[test]
+    fn compact_model_swaps_like_any_other() {
+        use crate::snapshot::{write_snapshot, QuantMode, SnapshotModel};
+        let dir = std::env::temp_dir().join(format!("tcss-handle-compact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.tcsssnap");
+        write_snapshot(&model(1.5), QuantMode::F32, &path).unwrap();
+        let snap = SnapshotModel::open(&path).unwrap();
+
+        let h = ModelHandle::new(model(1.0));
+        assert_eq!(h.swap(snap), 2);
+        let pinned = h.snapshot();
+        assert!(pinned.model.as_compact().is_some());
+        assert_eq!(pinned.model.dims(), model(1.0).dims());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -73,12 +73,14 @@ pub mod hist;
 pub mod metrics;
 #[cfg(unix)]
 pub mod net;
+pub mod snapshot;
 
 pub use cache::{VersionedCache, DEFAULT_SHARDS};
 pub use engine::{CacheStats, Ranking, ScoredBatch, ServingEngine};
-pub use handle::{ModelHandle, ModelSnapshot};
+pub use handle::{ModelHandle, ModelSnapshot, ServingModel};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use metrics::{ServingMetrics, StageHistograms};
+pub use snapshot::{QuantMode, SnapError, SnapshotModel};
 
 /// One scoring request: rank every POI for `user` at time unit `time`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

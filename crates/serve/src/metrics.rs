@@ -28,6 +28,7 @@ pub(crate) struct MetricsInner {
     pub topn_hits: AtomicU64,
     pub topn_misses: AtomicU64,
     pub model_swaps: AtomicU64,
+    pub reaped_stale: AtomicU64,
     pub weight_build: LatencyHistogram,
     pub score_matmul: LatencyHistogram,
     pub select: LatencyHistogram,
@@ -49,6 +50,7 @@ impl MetricsInner {
             topn_hits: get(&self.topn_hits),
             topn_misses: get(&self.topn_misses),
             model_swaps: get(&self.model_swaps),
+            reaped_stale: get(&self.reaped_stale),
             weight_build_ns: self.weight_build.snapshot().sum,
             score_matmul_ns: self.score_matmul.snapshot().sum,
             select_ns: self.select.snapshot().sum,
@@ -73,6 +75,7 @@ impl MetricsInner {
             topn_hits: take(&self.topn_hits),
             topn_misses: take(&self.topn_misses),
             model_swaps: take(&self.model_swaps),
+            reaped_stale: take(&self.reaped_stale),
             weight_build_ns: stages.weight_build.sum,
             score_matmul_ns: stages.score_matmul.sum,
             select_ns: stages.select.sum,
@@ -107,6 +110,11 @@ pub struct ServingMetrics {
     pub topn_misses: u64,
     /// Models published via swap (the initial model counts 0).
     pub model_swaps: u64,
+    /// Stale cache entries reclaimed by [`purge_stale`] calls (manual or
+    /// the server's periodic maintenance tick), weight + top-`n` combined.
+    ///
+    /// [`purge_stale`]: crate::ServingEngine::purge_stale
+    pub reaped_stale: u64,
     /// Total nanoseconds building / fetching weight vectors.
     pub weight_build_ns: u64,
     /// Total nanoseconds in the batched `W · U²ᵀ` score matmul.

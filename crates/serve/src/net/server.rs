@@ -155,6 +155,12 @@ pub struct ServerConfig {
     /// peers — including one stalled mid-frame — cannot pin fds
     /// forever). `None` (the default) never reaps.
     pub idle_timeout: Option<Duration>,
+    /// Periodic maintenance tick: every interval, a dedicated thread runs
+    /// [`ServingEngine::purge_stale`] so cache entries orphaned by model
+    /// swaps are reclaimed without waiting for an operator call (counts
+    /// surface as [`crate::ServingMetrics::reaped_stale`]). `None`
+    /// disables the tick; the default is 30 seconds.
+    pub maintenance_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -166,6 +172,7 @@ impl Default for ServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             request_deadline: None,
             idle_timeout: None,
+            maintenance_interval: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -905,6 +912,26 @@ fn acceptor_loop(
     }
 }
 
+/// Periodic cache maintenance: runs [`ServingEngine::purge_stale`] every
+/// `interval`, sleeping in short slices so drain/shutdown is observed
+/// within ~10 ms rather than a full interval. Purging is cheap (shard
+/// scans dropping version-mismatched entries) and touches no request
+/// state, so it runs concurrently with full traffic.
+fn maintenance_loop(shared: Arc<Shared>, interval: Duration) {
+    const SLICE: Duration = Duration::from_millis(10);
+    let mut last = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) || shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        if last.elapsed() >= interval {
+            shared.engine.purge_stale();
+            last = Instant::now();
+        }
+        std::thread::sleep(SLICE.min(interval));
+    }
+}
+
 /// The wire-protocol server. [`NetServer::start`] spawns the acceptor and
 /// worker threads and returns a [`ServerHandle`].
 pub struct NetServer;
@@ -951,12 +978,25 @@ impl NetServer {
             .name("tcss-serve-acceptor".to_string())
             .spawn(move || acceptor_loop(shared_a, listener, inboxes, acceptor_wakes))?;
 
+        let maint = match cfg.maintenance_interval {
+            Some(interval) => {
+                let shared_m = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("tcss-serve-maint".to_string())
+                        .spawn(move || maintenance_loop(shared_m, interval))?,
+                )
+            }
+            None => None,
+        };
+
         Ok(ServerHandle {
             addr,
             shared,
             wake_txs,
             acceptor: Some(acceptor),
             workers: worker_handles,
+            maint,
         })
     }
 }
@@ -971,6 +1011,7 @@ pub struct ServerHandle {
     wake_txs: Vec<UnixStream>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    maint: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -1057,6 +1098,9 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(maint) = self.maint.take() {
+            let _ = maint.join();
+        }
         clean
     }
 
@@ -1077,6 +1121,9 @@ impl ServerHandle {
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(maint) = self.maint.take() {
+            let _ = maint.join();
         }
     }
 }

@@ -414,3 +414,45 @@ fn client_reconnects_after_its_connection_is_reaped() {
     assert_bitwise(&resp, &m, 5, 2);
     assert_eq!(client.stats().reconnects, 1, "exactly one reconnect");
 }
+
+#[test]
+fn maintenance_tick_reaps_stale_cache_entries_after_a_swap() {
+    let m = model();
+    let engine = Arc::new(ServingEngine::new(m.clone()));
+    let mut handle = NetServer::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            // Tight tick so the test observes a reap without waiting out
+            // the production default.
+            maintenance_interval: Some(Duration::from_millis(20)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+
+    // Populate both caches, then swap: the old-version entries become
+    // unreachable and wait for the maintenance tick to reclaim them.
+    let mut client = NetClient::connect(handle.addr()).expect("connect");
+    for r in 0..4u64 {
+        let resp = client.recommend(r % 6, r % 4, TOP_N).expect("served");
+        assert_bitwise(&resp, &m, (r % 6) as usize, (r % 4) as usize);
+    }
+    engine.swap_model(model());
+
+    // The tick runs on its own thread — no request traffic after the
+    // swap, so any reap observed here came from the maintenance loop.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while engine.metrics().reaped_stale == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "maintenance tick never reaped the stale entries"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.weight_stale, 0, "stale weight entries remain");
+    assert_eq!(stats.topn_stale, 0, "stale top-n entries remain");
+
+    drop(client);
+    assert!(handle.drain(Duration::from_secs(1)), "drain timed out");
+}

@@ -1,0 +1,220 @@
+//! Corruption detection for the `.tcsssnap` format.
+//!
+//! The snapshot module's integrity contract (module docs, DESIGN.md §5h)
+//! is that a snapshot either loads in full or fails with a typed
+//! [`SnapError`] — never a garbage model. This suite property-tests that
+//! contract the way PR 2 pinned the checkpoint format:
+//!
+//! * **every truncation point** (header, payload, mid-field, last byte)
+//!   refuses to load, under the full-verify `open` *and* the O(1)
+//!   `open_fast` (the header pins the exact file length, so `open_fast`
+//!   catches truncation without scanning the payload);
+//! * **every single-bit flip** refuses the full-verify `open` — header
+//!   flips (fields *and* padding, both covered by the whole-page header
+//!   digest) are also caught by `open_fast`, while payload flips are
+//!   documented as `open_fast`'s blind spot and asserted to be exactly
+//!   that — caught by `open`, admitted by `open_fast`;
+//! * targeted field corruption (version skew, unknown quant mode,
+//!   inconsistent dims) maps to its specific typed variant even when the
+//!   header digest is recomputed to match — the reader cross-validates,
+//!   not just checksums.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use tcss_core::{random_init, TcssModel};
+use tcss_serve::snapshot::{
+    snapshot_bytes, write_snapshot, SnapshotModel, FORMAT_VERSION, HEADER_LEN,
+};
+use tcss_serve::{QuantMode, SnapError};
+
+fn model(seed: u64) -> TcssModel {
+    let (u1, u2, u3) = random_init((6, 19, 5), 5, seed);
+    let mut m = TcssModel::new(u1, u2, u3);
+    m.h = (0..5).map(|t| 0.8 + 0.07 * t as f64).collect();
+    m
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tcss-snapfmt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_raw(dir: &Path, bytes: &[u8]) -> PathBuf {
+    let path = dir.join("candidate.tcsssnap");
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// FNV-1a 64, restated from the documented format (independent of the
+/// implementation under test).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Re-stamp the header digest after deliberately editing a header field,
+/// so the targeted-corruption tests exercise the *semantic* validation
+/// behind the checksum, not the checksum itself.
+fn restamp_header(bytes: &mut [u8]) {
+    bytes[64..72].fill(0);
+    let sum = fnv1a64(&bytes[..HEADER_LEN]);
+    bytes[64..72].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn mode_of(flag: bool) -> QuantMode {
+    if flag {
+        QuantMode::I16
+    } else {
+        QuantMode::F32
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any proper-prefix truncation is a typed `Truncated` under both
+    /// open paths.
+    #[test]
+    fn every_truncation_point_is_rejected(
+        (mode_sel, frac) in (0usize..2, 0.0f64..1.0)
+    ) {
+        let dir = tmpdir("trunc");
+        let full = snapshot_bytes(&model(17), mode_of(mode_sel == 1));
+        let cut = ((full.len() as f64 * frac) as usize).min(full.len() - 1);
+        let path = write_raw(&dir, &full[..cut]);
+        prop_assert!(matches!(
+            SnapshotModel::open(&path),
+            Err(SnapError::Truncated { .. })
+        ));
+        prop_assert!(matches!(
+            SnapshotModel::open_fast(&path),
+            Err(SnapError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Any single-bit flip anywhere in the file fails the full-verify
+    /// open with a typed error; header flips also fail `open_fast`, and
+    /// payload flips are `open_fast`'s *documented* blind spot — pinned
+    /// here so the contract can't silently drift.
+    #[test]
+    fn every_bit_flip_is_rejected_by_full_open(
+        (mode_sel, frac, bit) in (0usize..2, 0.0f64..1.0, 0usize..8)
+    ) {
+        let dir = tmpdir("flip");
+        let mut bytes = snapshot_bytes(&model(29), mode_of(mode_sel == 1));
+        let idx = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        let path = write_raw(&dir, &bytes);
+        prop_assert!(SnapshotModel::open(&path).is_err(), "flip at byte {idx} bit {bit}");
+        if idx < HEADER_LEN {
+            prop_assert!(
+                SnapshotModel::open_fast(&path).is_err(),
+                "header flip at byte {idx} must fail open_fast"
+            );
+        } else {
+            prop_assert!(
+                SnapshotModel::open_fast(&path).is_ok(),
+                "payload flip at byte {idx} is open_fast's documented blind spot"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn clean_roundtrip_loads_under_both_opens() {
+    let dir = tmpdir("clean");
+    let m = model(5);
+    for (tag, mode) in [("f", QuantMode::F32), ("q", QuantMode::I16)] {
+        let path = dir.join(format!("{tag}.tcsssnap"));
+        write_snapshot(&m, mode, &path).expect("write");
+        for snap in [
+            SnapshotModel::open(&path).expect("open"),
+            SnapshotModel::open_fast(&path).expect("open_fast"),
+        ] {
+            assert_eq!(snap.dims(), m.dims());
+            assert_eq!(snap.rank(), m.rank());
+            assert_eq!(snap.mode(), mode);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn appended_garbage_is_rejected() {
+    let dir = tmpdir("append");
+    let mut bytes = snapshot_bytes(&model(7), QuantMode::F32);
+    bytes.extend_from_slice(&[0xAB; 17]);
+    let path = write_raw(&dir, &bytes);
+    assert!(matches!(
+        SnapshotModel::open(&path),
+        Err(SnapError::Truncated { .. })
+    ));
+    assert!(matches!(
+        SnapshotModel::open_fast(&path),
+        Err(SnapError::Truncated { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_skew_is_typed_even_with_valid_digest() {
+    let dir = tmpdir("ver");
+    let mut bytes = snapshot_bytes(&model(11), QuantMode::F32);
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    restamp_header(&mut bytes);
+    let path = write_raw(&dir, &bytes);
+    assert!(matches!(
+        SnapshotModel::open(&path),
+        Err(SnapError::UnsupportedVersion { found }) if found == FORMAT_VERSION + 1
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_quant_mode_is_typed_even_with_valid_digest() {
+    let dir = tmpdir("mode");
+    let mut bytes = snapshot_bytes(&model(13), QuantMode::F32);
+    bytes[12..16].copy_from_slice(&7u32.to_le_bytes());
+    restamp_header(&mut bytes);
+    let path = write_raw(&dir, &bytes);
+    assert!(matches!(
+        SnapshotModel::open(&path),
+        Err(SnapError::BadQuantMode { code: 7 })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inconsistent_dims_are_typed_even_with_valid_digest() {
+    let dir = tmpdir("dims");
+    let mut bytes = snapshot_bytes(&model(19), QuantMode::I16);
+    // Claim one more user than the payload was laid out for.
+    let users = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    bytes[16..24].copy_from_slice(&(users + 1).to_le_bytes());
+    restamp_header(&mut bytes);
+    let path = write_raw(&dir, &bytes);
+    assert!(matches!(
+        SnapshotModel::open(&path),
+        Err(SnapError::DimsMismatch { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn not_a_snapshot_file_is_bad_magic() {
+    let dir = tmpdir("notsnap");
+    let path = write_raw(&dir, &vec![b'x'; HEADER_LEN + 128]);
+    assert!(matches!(
+        SnapshotModel::open(&path),
+        Err(SnapError::BadMagic { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

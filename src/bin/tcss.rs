@@ -39,8 +39,11 @@ const USAGE: &str = "usage:
   tcss recommend --data <stem> --model <file> --user U --month M [--top N]
   tcss recommend-batch --data <stem> --model <file> --requests <U:M,U:M,...> [--top N]
   tcss evaluate  --data <stem> --model <file> [--test-fraction F]
-  tcss serve     --data <stem> --model <file> [--addr A] [--threads N] [--queue-depth D]
+  tcss export-snapshot --model <file> --out <file.tcsssnap> [--quant f32|i16]
+  tcss serve     --data <stem> (--model <file> | --snapshot <file.tcsssnap>)
+                 [--addr A] [--threads N] [--queue-depth D]
                  [--deadline-ms D] [--idle-timeout-ms I] [--drain-timeout-ms T]
+                 [--maintenance-ms M]
   tcss query     --addr <host:port> --user U --month M [--top N]
                  [--timeout-ms T] [--retries N]
 
@@ -49,18 +52,24 @@ const USAGE: &str = "usage:
 serving:
   tcss serve binds a wire-protocol server (default 127.0.0.1:0, i.e. an
   OS-assigned port printed on startup) and runs until SIGINT/SIGTERM.
-  --threads sets worker readiness loops (default 2); --queue-depth bounds
-  admitted in-flight requests (default 1024) — beyond it, requests are
-  answered with a typed Overloaded response instead of queueing.
+  --snapshot serves from a compact quantized snapshot (written by
+  tcss export-snapshot) scored straight out of an mmap — O(1) cold start
+  and a fraction of the f64 memory, within the documented quantization
+  error budget. --threads sets worker readiness loops (default 2);
+  --queue-depth bounds admitted in-flight requests (default 1024) —
+  beyond it, requests are answered with a typed Overloaded response
+  instead of queueing.
   --deadline-ms answers requests that waited longer than D before scoring
   with a typed DeadlineExceeded error; --idle-timeout-ms reaps
-  connections silent for I ms. On SIGINT/SIGTERM the server drains
-  gracefully — stops accepting, finishes in-flight batches, flushes
-  queued responses — force-closing stragglers after --drain-timeout-ms
-  (default 5000). tcss query sends one recommendation request to a
-  running server; --timeout-ms bounds each socket read (default 10000)
-  and --retries retries Overloaded/transient failures with deterministic
-  capped exponential backoff (default 0).
+  connections silent for I ms; --maintenance-ms sets the periodic
+  stale-cache reap interval (default 30000; 0 disables). On
+  SIGINT/SIGTERM the server drains gracefully — stops accepting,
+  finishes in-flight batches, flushes queued responses — force-closing
+  stragglers after --drain-timeout-ms (default 5000). tcss query sends
+  one recommendation request to a running server; --timeout-ms bounds
+  each socket read (default 10000) and --retries retries
+  Overloaded/transient failures with deterministic capped exponential
+  backoff (default 0).
 
 fault tolerance:
   --checkpoint-dir <dir>  write a rolling checkpoint to <dir>/checkpoint.tcssck
@@ -95,6 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("recommend") => cmd_recommend(&args[1..]),
         Some("recommend-batch") => cmd_recommend_batch(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("export-snapshot") => cmd_export_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("--help" | "-h") | None => {
@@ -352,9 +362,43 @@ fn install_stop_handlers() {
     }
 }
 
+fn cmd_export_snapshot(args: &[String]) -> Result<(), String> {
+    use tcss::serve::snapshot::{write_snapshot, SnapshotModel};
+    use tcss::serve::QuantMode;
+
+    let model_path = req(args, "--model")?;
+    let out = PathBuf::from(req(args, "--out")?);
+    let mode = match opt(args, "--quant") {
+        Some(v) => {
+            QuantMode::parse(v).ok_or_else(|| format!("--quant must be f32 or i16, got {v:?}"))?
+        }
+        None => QuantMode::F32,
+    };
+    let model = load_model(Path::new(model_path)).map_err(|e| format!("loading model: {e}"))?;
+    write_snapshot(&model, mode, &out).map_err(|e| format!("writing snapshot: {e}"))?;
+    // Reopen with full verification so the operator knows the bytes on
+    // disk load cleanly, not just that the write returned.
+    let snap = SnapshotModel::open(&out).map_err(|e| format!("verifying snapshot: {e}"))?;
+    let (i, j, k) = snap.dims();
+    let f64_bytes = model.num_params() * 8;
+    println!(
+        "wrote {} ({mode} factors): {i} users × {j} POIs × {k} slots, rank {}",
+        out.display(),
+        snap.rank()
+    );
+    println!(
+        "{} payload bytes vs {} bytes of f64 factors in memory ({:.1}%); \
+         {:.1} bytes/user across all factors",
+        snap.payload_bytes(),
+        f64_bytes,
+        100.0 * snap.payload_bytes() as f64 / f64_bytes as f64,
+        snap.payload_bytes() as f64 / i as f64
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let data = load(req(args, "--data")?)?;
-    let model = load_model_checked(req(args, "--model")?, &data)?;
     let mut cfg = tcss::serve::net::ServerConfig::default();
     if let Some(v) = opt(args, "--addr") {
         cfg.addr = parse(v, "--addr")?;
@@ -374,16 +418,47 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--idle-timeout-ms",
         )?));
     }
+    if let Some(v) = opt(args, "--maintenance-ms") {
+        let ms: u64 = parse(v, "--maintenance-ms")?;
+        cfg.maintenance_interval = if ms == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_millis(ms))
+        };
+    }
     let drain_timeout = std::time::Duration::from_millis(match opt(args, "--drain-timeout-ms") {
         Some(v) => parse(v, "--drain-timeout-ms")?,
         None => 5000u64,
     });
-    let (i, j, k) = model.dims();
-    let engine = std::sync::Arc::new(ServingEngine::new(model));
-    let mut handle = tcss::serve::net::NetServer::start(engine, cfg)
+
+    let (engine, source) = if let Some(snap_path) = opt(args, "--snapshot") {
+        let snap = tcss::serve::SnapshotModel::open(Path::new(snap_path))
+            .map_err(|e| format!("opening snapshot: {e}"))?;
+        let (i, j, _) = snap.dims();
+        if i != data.n_users || j != data.n_pois() {
+            return Err(format!(
+                "snapshot holds {i} users × {j} POIs but the dataset has {} × {}",
+                data.n_users,
+                data.n_pois()
+            ));
+        }
+        let mode = snap.mode();
+        (
+            std::sync::Arc::new(ServingEngine::new(snap)),
+            format!("compact {mode} snapshot {snap_path}"),
+        )
+    } else {
+        let model = load_model_checked(req(args, "--model")?, &data)?;
+        (
+            std::sync::Arc::new(ServingEngine::new(model)),
+            "f64 model".to_string(),
+        )
+    };
+    let (i, j, k) = engine.snapshot().model.dims();
+    let mut handle = tcss::serve::net::NetServer::start(std::sync::Arc::clone(&engine), cfg)
         .map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "serving {i} users × {j} POIs × {k} slots on {}",
+        "serving {i} users × {j} POIs × {k} slots ({source}) on {}",
         handle.addr()
     );
     println!("listening; Ctrl-C (or SIGTERM) drains and stops");
@@ -408,6 +483,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         m.deadline_exceeded,
         m.panics,
         m.reaped_idle
+    );
+    // Warm-path health next to the resilience block: cache hit rates and
+    // what the maintenance tick reclaimed, without needing a bench run.
+    let sm = engine.metrics();
+    let stats = engine.cache_stats();
+    println!(
+        "caches: weight hits {} misses {} ({:.1}% hit), top-n hits {} misses {} ({:.1}% hit); \
+         {} weight / {} top-n entries live, {} stale entries reaped",
+        sm.weight_hits,
+        sm.weight_misses,
+        100.0 * sm.weight_hit_rate(),
+        sm.topn_hits,
+        sm.topn_misses,
+        100.0 * sm.topn_hit_rate(),
+        stats.weight_entries,
+        stats.topn_entries,
+        sm.reaped_stale
     );
     Ok(())
 }
