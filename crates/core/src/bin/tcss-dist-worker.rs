@@ -1,0 +1,39 @@
+//! Standalone distributed-training worker.
+//!
+//! Spawned by the coordinator (`TcssTrainer::train_distributed`) with
+//! `--socket <path> --worker <id>`; everything else arrives over the
+//! socket. The `tcss` CLI embeds the same entry point as its hidden
+//! `dist-worker` subcommand — this binary exists so the core crate's
+//! integration tests (and the bench harness) can run real multi-process
+//! training without depending on the workspace-root CLI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<PathBuf> = None;
+    let mut worker: Option<u32> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = it.next().map(PathBuf::from),
+            "--worker" => worker = it.next().and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("tcss-dist-worker: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(socket), Some(worker)) = (socket, worker) else {
+        eprintln!("usage: tcss-dist-worker --socket <path> --worker <id>");
+        return ExitCode::from(2);
+    };
+    match tcss_core::dist::run_worker(&socket, worker) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tcss-dist-worker {worker}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

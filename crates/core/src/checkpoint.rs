@@ -34,6 +34,7 @@
 //! never loaded as a silently wrong state.
 
 use crate::config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+use crate::digest::fnv1a64;
 use crate::loss::Grads;
 use crate::model::TcssModel;
 use crate::model_io::ModelIoError;
@@ -69,22 +70,9 @@ pub struct Checkpoint {
 }
 
 // ---------------------------------------------------------------------
-// Integrity primitives (shared with model_io)
+// Integrity primitives (shared with model_io; the digest itself is the
+// canonical [`crate::digest::fnv1a64`])
 // ---------------------------------------------------------------------
-
-/// 64-bit FNV-1a over raw bytes. Not cryptographic — it guards against
-/// truncation and accidental corruption, which is exactly the failure
-/// model of a killed process or a bad disk, and any single-byte change
-/// provably alters the digest (each round `h ← (h ⊕ b)·p` is a bijection
-/// of `h` for fixed `b`).
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
 
 /// Append a `checksum: <hex>` trailer covering everything written so far.
 pub(crate) fn append_checksum(out: &mut String) {
@@ -167,8 +155,10 @@ pub(crate) fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
 /// Hash the config fields that determine the *trajectory* of training.
 ///
 /// Deliberately excluded: `epochs` (resuming may extend a run),
-/// `num_threads` (a pure speed knob under the deterministic-reduction
-/// contract), and the checkpoint/watchdog policy fields (they decide when
+/// `num_threads` and `workers` (pure speed knobs under the deterministic-
+/// reduction and process-count-parity contracts — single-process and
+/// distributed runs resume each other's checkpoints), and the
+/// checkpoint/watchdog policy fields (they decide when
 /// snapshots happen and how failures are handled, not what the numbers
 /// are). Everything else participates bit-exactly via `f64::to_bits`.
 pub fn config_fingerprint(cfg: &TcssConfig) -> u64 {
@@ -546,6 +536,7 @@ mod tests {
         let mut same = base.clone();
         same.epochs = 999;
         same.num_threads = Some(4);
+        same.workers = Some(4);
         same.checkpoint_every = 1;
         same.max_retries = 9;
         assert_eq!(config_fingerprint(&same), fp);

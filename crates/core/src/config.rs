@@ -100,6 +100,15 @@ pub struct TcssConfig {
     /// deterministic-reduction contract in `tcss_linalg::parallel`, this
     /// knob changes wall-clock time only — never a single bit of output.
     pub num_threads: Option<usize>,
+    /// Worker **processes** for mode-sharded distributed training
+    /// ([`crate::dist`]). `None` (the default) trains in-process;
+    /// `Some(w)` shards the entry-chunk grid across `w` coordinator-spawned
+    /// worker processes. Like [`TcssConfig::num_threads`], this is a pure
+    /// runtime knob: the process-count-parity contract guarantees the
+    /// trained model is bit-identical for any worker count (and it is
+    /// excluded from the checkpoint fingerprint, so single-process and
+    /// distributed runs can resume each other's checkpoints).
+    pub workers: Option<usize>,
     /// Directory where [`crate::train::TcssTrainer::train_with_checkpoints`]
     /// writes its rolling checkpoint file. `None` disables on-disk
     /// checkpoints (the watchdog still keeps an in-memory rollback
@@ -145,6 +154,7 @@ impl Default for TcssConfig {
             seed: 7,
             hausdorff_every: 3,
             num_threads: None,
+            workers: None,
             checkpoint_dir: None,
             checkpoint_every: 25,
             resume_from: None,
@@ -281,8 +291,22 @@ impl TcssConfig {
         if self.num_threads == Some(0) {
             return Err("num_threads must be at least 1 when set".into());
         }
+        if self.workers == Some(0) {
+            return Err("workers must be at least 1 when set".into());
+        }
         if self.checkpoint_every == 0 {
             return Err("checkpoint_every must be at least 1".into());
+        }
+        if let Some(w) = self.workers {
+            if w > 1 && self.epochs > 0 && self.checkpoint_every > self.epochs {
+                return Err(format!(
+                    "workers is set ({w}) but checkpoint_every ({}) exceeds epochs ({}): \
+                     distributed training recovers from worker loss by rolling back to \
+                     the last checkpoint cadence, so at least one must land within the \
+                     run — lower checkpoint_every or raise epochs",
+                    self.checkpoint_every, self.epochs
+                ));
+            }
         }
         if self.max_grad_norm.is_nan() || self.max_grad_norm <= 0.0 {
             return Err(format!(
@@ -460,7 +484,23 @@ mod tests {
             ),
             (
                 TcssConfig {
+                    workers: Some(0),
+                    ..base()
+                },
+                "workers",
+            ),
+            (
+                TcssConfig {
                     checkpoint_every: 0,
+                    ..base()
+                },
+                "checkpoint_every",
+            ),
+            (
+                TcssConfig {
+                    workers: Some(2),
+                    epochs: 10,
+                    checkpoint_every: 50,
                     ..base()
                 },
                 "checkpoint_every",

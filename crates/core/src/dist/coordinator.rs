@@ -1,0 +1,566 @@
+//! The coordinator side of the distributed trainer.
+//!
+//! The coordinator is the single-process checkpointed loop
+//! (`TcssTrainer::train_with_faults`) with the entry-chunk evaluation
+//! out-sourced: it owns the model, the Adam state, the whole-data Gram
+//! tail, the Hausdorff head, the divergence watchdog, and the
+//! checkpoints; workers only evaluate chunks. Each epoch it broadcasts
+//! the full model, gathers per-chunk deltas worker-by-worker in worker
+//! order (= ascending global chunk order, since blocks are contiguous),
+//! and replays each chunk's scatter adds — reproducing the in-process
+//! float stream bit-for-bit. See the module docs of [`crate::dist`] for
+//! the parity argument and failure model.
+
+use super::wire::{
+    apply_deltas, decode_hello, deltas_epoch, encode_frame, encode_setup, encode_shutdown,
+    encode_step, tag_of, FrameDecoder, Setup, WireLoss, TAG_DELTAS, TAG_HELLO,
+};
+use super::{read_frame, DistError};
+use crate::checkpoint::{config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint};
+use crate::config::LossStrategy;
+use crate::fault::{poison, FaultPlan};
+use crate::loss::{Grads, ENTRIES_PER_CHUNK};
+use crate::model::TcssModel;
+use crate::model_io::ModelIoError;
+use crate::train::{
+    divergence_trouble, model_is_finite, AdamState, TcssTrainer, TrainContext, TrainError,
+    TrainReport,
+};
+use crate::workspace::TrainWorkspace;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How to run a distributed training session: the worker fleet and the
+/// program that plays the worker role.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker processes to spawn (≥ 1).
+    pub workers: usize,
+    /// Threads per worker (each worker pins `TCSS_NUM_THREADS`-style
+    /// parallelism to this; `None` = 1 — workers should not each grab the
+    /// whole machine).
+    pub worker_threads: Option<usize>,
+    /// Program to spawn for each worker. The coordinator appends
+    /// `--socket <path> --worker <id>` to [`DistConfig::worker_args`].
+    /// (`tcss` passes its own executable plus the hidden `dist-worker`
+    /// subcommand; tests pass the `tcss-dist-worker` binary.)
+    pub worker_program: PathBuf,
+    /// Leading arguments for the worker program (e.g. a subcommand).
+    pub worker_args: Vec<String>,
+    /// Directory for the coordinator's Unix socket (`None`: the OS temp
+    /// dir).
+    pub socket_dir: Option<PathBuf>,
+    /// Worker-loss recovery budget: how many respawn-and-rollback cycles
+    /// are allowed before the run aborts with
+    /// [`DistError::RespawnBudgetExhausted`].
+    pub max_respawns: u32,
+}
+
+impl DistConfig {
+    /// A fleet of `workers` running `worker_program`, defaults elsewhere.
+    pub fn new(workers: usize, worker_program: impl Into<PathBuf>) -> Self {
+        DistConfig {
+            workers,
+            worker_threads: None,
+            worker_program: worker_program.into(),
+            worker_args: Vec::new(),
+            socket_dir: None,
+            max_respawns: 3,
+        }
+    }
+}
+
+/// Outcome of a distributed run: the [`TrainReport`] plus transport and
+/// recovery telemetry.
+#[derive(Debug)]
+pub struct DistReport {
+    /// The single-process-identical training outcome.
+    pub report: TrainReport,
+    /// Worker processes used.
+    pub workers: usize,
+    /// Worker-loss recoveries performed.
+    pub respawns: u32,
+    /// Bytes the coordinator wrote to workers (frames included).
+    pub bytes_sent: u64,
+    /// Bytes of frames the coordinator read from workers.
+    pub bytes_received: u64,
+    /// Cumulative in-worker compute time (ns) per worker slot, as
+    /// reported in each Deltas message — the bench derives critical-path
+    /// scaling from this on hosts too small to run the fleet in parallel.
+    pub worker_busy_ns: Vec<u64>,
+    /// Epochs dispatched to the fleet, replays included.
+    pub epochs_dispatched: u64,
+}
+
+/// One connected worker.
+struct WorkerSlot {
+    child: Child,
+    stream: UnixStream,
+    dec: FrameDecoder,
+    chunk_start: usize,
+    chunk_end: usize,
+    /// `U¹` rows this worker's chunk block can read — the entry list is
+    /// sorted by `(i, j, k)`, so a contiguous chunk block touches a
+    /// contiguous row window, and each Step ships only that window
+    /// (everything, for negative sampling: its negatives hit any row).
+    u1_lo: usize,
+    u1_hi: usize,
+}
+
+/// Owns the listening socket path; removes the file on drop so aborted
+/// runs don't litter the temp dir.
+struct SocketGuard {
+    path: PathBuf,
+    listener: UnixListener,
+}
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// How one epoch attempt over the fleet ended.
+enum EpochOutcome {
+    /// All deltas gathered and merged; `l2` holds the entry-loss sum.
+    Done { l2: f64 },
+    /// A worker died (I/O error, EOF, or stream corruption); recoverable
+    /// by respawn + rollback.
+    WorkerLost { worker: usize, detail: String },
+}
+
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TcssTrainer {
+    /// Distributed counterpart of
+    /// [`TcssTrainer::train_with_checkpoints`]: same guarantees, same
+    /// bit-exact trajectory, with the entry-chunk work sharded across
+    /// `dist.workers` processes.
+    pub fn train_distributed(
+        &self,
+        dist: &DistConfig,
+        on_epoch: impl FnMut(TrainContext),
+    ) -> Result<DistReport, TrainError> {
+        self.train_distributed_with_faults(dist, &FaultPlan::none(), on_epoch)
+    }
+
+    /// [`TcssTrainer::train_distributed`] with a deterministic
+    /// [`FaultPlan`] — drives the worker-loss recovery path in tests via
+    /// [`FaultPlan::kill_worker_at`].
+    pub fn train_distributed_with_faults(
+        &self,
+        dist: &DistConfig,
+        faults: &FaultPlan,
+        mut on_epoch: impl FnMut(TrainContext),
+    ) -> Result<DistReport, TrainError> {
+        let cfg = &self.config;
+        self.validate()?;
+        if dist.workers == 0 {
+            return Err(TrainError::InvalidConfig(
+                "dist.workers must be at least 1".into(),
+            ));
+        }
+        let fingerprint = config_fingerprint(cfg);
+
+        // --- Shard the global chunk grid into contiguous blocks ----------
+        let n_entries = self.tensor.entries().len();
+        let n_chunks = tcss_linalg::chunk_count(n_entries, ENTRIES_PER_CHUNK);
+        let w = dist.workers;
+        let blocks: Vec<(usize, usize)> = (0..w)
+            .map(|i| (i * n_chunks / w, (i + 1) * n_chunks / w))
+            .collect();
+
+        // --- Socket + fleet ----------------------------------------------
+        let dir = dist.socket_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let sock_path = dir.join(format!(
+            "tcss-dist-{}-{}.sock",
+            std::process::id(),
+            SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&sock_path);
+        let listener = UnixListener::bind(&sock_path).map_err(DistError::Io)?;
+        let guard = SocketGuard {
+            path: sock_path,
+            listener,
+        };
+
+        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(w);
+        for (worker, &(chunk_start, chunk_end)) in blocks.iter().enumerate() {
+            slots.push(self.spawn_worker(dist, &guard, worker, chunk_start, chunk_end)?);
+        }
+
+        // --- Run state: identical to the in-process checkpointed loop ----
+        let (mut model, mut adam, start_epoch, mut lr_scale, mut retries) =
+            self.init_run_state(fingerprint)?;
+        let mut last_good = (model.clone(), adam.clone(), start_epoch);
+        let checkpoint_path = cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(crate::checkpoint::CHECKPOINT_FILE));
+        if let Some(dir) = &cfg.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| TrainError::Checkpoint(ModelIoError::Fs(e)))?;
+        }
+
+        let ws = TrainWorkspace::new();
+        let mut grads = Grads::zeros(&model);
+        let mut epoch = start_epoch;
+        let mut respawns = 0u32;
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
+        let mut worker_busy_ns = vec![0u64; w];
+        let mut epochs_dispatched = 0u64;
+
+        while epoch < cfg.epochs {
+            if faults.take_crash(epoch) {
+                self.shutdown_fleet(&mut slots);
+                return Err(TrainError::InjectedCrash { epoch });
+            }
+            if let Some(victim) = faults.take_kill_worker(epoch) {
+                if let Some(slot) = slots.get_mut(victim) {
+                    let _ = slot.child.kill();
+                    let _ = slot.child.wait();
+                }
+            }
+
+            grads.set_zero();
+            epochs_dispatched += 1;
+            let outcome = dispatch_epoch(
+                &mut slots,
+                epoch as u64,
+                &model,
+                &mut grads,
+                &mut bytes_sent,
+                &mut bytes_received,
+                &mut worker_busy_ns,
+            )?;
+            let mut l2 = match outcome {
+                EpochOutcome::Done { l2 } => l2,
+                EpochOutcome::WorkerLost { worker, detail } => {
+                    respawns += 1;
+                    if respawns > dist.max_respawns {
+                        self.shutdown_fleet(&mut slots);
+                        return Err(TrainError::Dist(DistError::RespawnBudgetExhausted {
+                            worker,
+                            epoch,
+                            respawns,
+                            detail,
+                        }));
+                    }
+                    let (chunk_start, chunk_end) =
+                        (slots[worker].chunk_start, slots[worker].chunk_end);
+                    let _ = slots[worker].child.kill();
+                    let _ = slots[worker].child.wait();
+                    slots[worker] =
+                        self.spawn_worker(dist, &guard, worker, chunk_start, chunk_end)?;
+                    // Resume from the last checkpoint: the on-disk one
+                    // when checkpointing is enabled (exercising the full
+                    // load path), else the in-memory rollback snapshot —
+                    // they are refreshed at the same cadence points, so
+                    // the states are identical.
+                    match checkpoint_path.as_ref().filter(|p| p.exists()) {
+                        Some(path) => {
+                            let ck = load_checkpoint(path)?;
+                            model = ck.model;
+                            adam = AdamState {
+                                m: ck.m,
+                                v: ck.v,
+                                t: ck.adam_t,
+                            };
+                            epoch = ck.epoch;
+                            lr_scale = ck.lr_scale;
+                            retries = ck.retries;
+                        }
+                        None => {
+                            let (m, a, e) = &last_good;
+                            model = m.clone();
+                            adam = a.clone();
+                            epoch = *e;
+                        }
+                    }
+                    continue;
+                }
+            };
+
+            // --- Coordinator-local tail: Gram term + Hausdorff head ------
+            let l1 = self.epoch_tail(&model, epoch, &ws, &mut grads, &mut l2);
+            if faults.take_poison(epoch) {
+                poison(&mut grads);
+            }
+
+            // --- Watchdog / step / checkpoint: line-for-line the
+            // in-process loop -------------------------------------------
+            if let Some(detail) = divergence_trouble(cfg, l2, l1, &grads) {
+                retries += 1;
+                if retries > cfg.max_retries {
+                    self.shutdown_fleet(&mut slots);
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        retries,
+                        detail,
+                    });
+                }
+                lr_scale *= cfg.lr_backoff;
+                let (m, a, e) = &last_good;
+                model = m.clone();
+                adam = a.clone();
+                epoch = *e;
+                continue;
+            }
+
+            adam.step(
+                &mut model,
+                &grads,
+                cfg.learning_rate * lr_scale,
+                cfg.weight_decay,
+            );
+            on_epoch(TrainContext { epoch, l2, l1 });
+            epoch += 1;
+
+            let due = epoch.is_multiple_of(cfg.checkpoint_every) || epoch == cfg.epochs;
+            if due && model_is_finite(&model) {
+                last_good = (model.clone(), adam.clone(), epoch);
+                if let Some(path) = &checkpoint_path {
+                    let ck = Checkpoint {
+                        epoch,
+                        adam_t: adam.t,
+                        lr_scale,
+                        retries,
+                        seed: cfg.seed,
+                        fingerprint,
+                        model: model.clone(),
+                        m: adam.m.clone(),
+                        v: adam.v.clone(),
+                    };
+                    save_checkpoint(&ck, path)?;
+                }
+            }
+        }
+
+        self.shutdown_fleet(&mut slots);
+        Ok(DistReport {
+            report: TrainReport {
+                model,
+                start_epoch,
+                rollbacks: retries,
+                lr_scale,
+            },
+            workers: w,
+            respawns,
+            bytes_sent,
+            bytes_received,
+            worker_busy_ns,
+            epochs_dispatched,
+        })
+    }
+
+    /// Spawn one worker process, accept its connection, verify its Hello,
+    /// and send its Setup.
+    fn spawn_worker(
+        &self,
+        dist: &DistConfig,
+        guard: &SocketGuard,
+        worker: usize,
+        chunk_start: usize,
+        chunk_end: usize,
+    ) -> Result<WorkerSlot, DistError> {
+        let mut child = Command::new(&dist.worker_program)
+            .args(&dist.worker_args)
+            .arg("--socket")
+            .arg(&guard.path)
+            .arg("--worker")
+            .arg(worker.to_string())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| DistError::Spawn {
+                program: dist.worker_program.display().to_string(),
+                source: e,
+            })?;
+        // Accept without ever hanging: a worker that dies before
+        // connecting (bad program, crash on startup) surfaces as a typed
+        // error, detected by polling the child between accept attempts.
+        guard.listener.set_nonblocking(true)?;
+        let mut stream = loop {
+            match guard.listener.accept() {
+                Ok((s, _addr)) => break s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(status) = child.try_wait()? {
+                        guard.listener.set_nonblocking(false)?;
+                        return Err(DistError::Protocol(format!(
+                            "worker {worker} exited before connecting ({status})"
+                        )));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(e) => {
+                    guard.listener.set_nonblocking(false)?;
+                    return Err(DistError::Io(e));
+                }
+            }
+        };
+        guard.listener.set_nonblocking(false)?;
+        stream.set_nonblocking(false)?;
+        let mut dec = FrameDecoder::new();
+        let hello = read_frame(&mut stream, &mut dec)?.ok_or_else(|| {
+            DistError::Protocol(format!("worker {worker} disconnected before Hello"))
+        })?;
+        if tag_of(&hello)? != TAG_HELLO {
+            return Err(DistError::Protocol(format!(
+                "worker {worker} sent tag {} before Hello",
+                tag_of(&hello)?
+            )));
+        }
+        let claimed = decode_hello(&hello)?;
+        if claimed as usize != worker {
+            return Err(DistError::Protocol(format!(
+                "expected Hello from worker {worker}, got worker {claimed}"
+            )));
+        }
+        let cfg = &self.config;
+        let setup = Setup {
+            dims: self.tensor.dims(),
+            rank: cfg.rank,
+            w_plus: cfg.w_plus,
+            w_minus: cfg.w_minus,
+            loss: match cfg.loss {
+                LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
+                    WireLoss::L2Entries
+                }
+                LossStrategy::NegativeSampling => WireLoss::NegSampling,
+            },
+            seed: cfg.seed,
+            chunk_start,
+            chunk_end,
+            threads: dist.worker_threads.unwrap_or(1).max(1),
+            entries: self.tensor.entries().to_vec(),
+        };
+        stream.write_all(&encode_frame(&encode_setup(&setup)))?;
+        let entries = self.tensor.entries();
+        let lo = (chunk_start * ENTRIES_PER_CHUNK).min(entries.len());
+        let hi = (chunk_end * ENTRIES_PER_CHUNK).min(entries.len());
+        let (u1_lo, u1_hi) = match setup.loss {
+            // Negative sampling draws rows anywhere in the tensor.
+            WireLoss::NegSampling => (0, self.tensor.dims().0),
+            WireLoss::L2Entries if lo < hi => (entries[lo].i, entries[hi - 1].i + 1),
+            WireLoss::L2Entries => (0, 0),
+        };
+        Ok(WorkerSlot {
+            child,
+            stream,
+            dec,
+            chunk_start,
+            chunk_end,
+            u1_lo,
+            u1_hi,
+        })
+    }
+
+    /// Best-effort fleet teardown: Shutdown frame, then reap. Workers also
+    /// exit on EOF, so a failed write still converges.
+    fn shutdown_fleet(&self, slots: &mut Vec<WorkerSlot>) {
+        for slot in slots.iter_mut() {
+            let _ = slot.stream.write_all(&encode_frame(&encode_shutdown()));
+            let _ = slot.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for slot in slots.iter_mut() {
+            let _ = slot.child.wait();
+        }
+        slots.clear();
+    }
+}
+
+/// One epoch over the fleet: broadcast the model to every worker, then
+/// gather and merge deltas worker-by-worker **in worker order** — with
+/// contiguous blocks that is ascending global chunk order, the exact add
+/// sequence of the in-process fold.
+///
+/// Strict lockstep is maintained even under failure: every worker that
+/// received a Step gets its reply read (and discarded on epoch mismatch)
+/// before the next broadcast, so no stale frames can deadlock a later
+/// broadcast against a worker blocked mid-write.
+fn dispatch_epoch(
+    slots: &mut [WorkerSlot],
+    epoch: u64,
+    model: &TcssModel,
+    grads: &mut Grads,
+    bytes_sent: &mut u64,
+    bytes_received: &mut u64,
+    worker_busy_ns: &mut [u64],
+) -> Result<EpochOutcome, DistError> {
+    let mut lost: Option<(usize, String)> = None;
+
+    // Broadcast, each worker getting its own U¹ row window.
+    let mut stepped = vec![false; slots.len()];
+    for (w, slot) in slots.iter_mut().enumerate() {
+        let step = encode_frame(&encode_step(epoch, model, slot.u1_lo, slot.u1_hi));
+        match slot.stream.write_all(&step) {
+            Ok(()) => {
+                stepped[w] = true;
+                *bytes_sent += step.len() as u64;
+            }
+            Err(e) => {
+                lost.get_or_insert((w, format!("step broadcast failed: {e}")));
+            }
+        }
+    }
+
+    // Gather, in worker order. Keep reading even after a loss elsewhere:
+    // lockstep requires draining every outstanding reply.
+    let mut l2 = 0.0;
+    for (w, slot) in slots.iter_mut().enumerate() {
+        if !stepped[w] {
+            continue;
+        }
+        loop {
+            let frame = match read_frame(&mut slot.stream, &mut slot.dec) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    lost.get_or_insert((w, "worker closed its socket mid-epoch".into()));
+                    break;
+                }
+                Err(e) => {
+                    lost.get_or_insert((w, format!("reading deltas failed: {e}")));
+                    break;
+                }
+            };
+            *bytes_received +=
+                (frame.len() + super::wire::HEADER_LEN + super::wire::TRAILER_LEN) as u64;
+            match tag_of(&frame) {
+                Ok(TAG_DELTAS) => match deltas_epoch(&frame) {
+                    Ok(ep) if ep != epoch => continue, // stale replay reply
+                    Ok(_) => {
+                        if lost.is_none() {
+                            match apply_deltas(&frame, epoch, grads, &mut l2) {
+                                Ok((busy, _chunks)) => worker_busy_ns[w] += busy,
+                                Err(e) => {
+                                    lost.get_or_insert((w, format!("corrupt deltas: {e}")));
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Err(e) => {
+                        lost.get_or_insert((w, format!("corrupt deltas header: {e}")));
+                        break;
+                    }
+                },
+                Ok(other) => {
+                    lost.get_or_insert((w, format!("unexpected tag {other} during gather")));
+                    break;
+                }
+                Err(e) => {
+                    lost.get_or_insert((w, format!("corrupt frame: {e}")));
+                    break;
+                }
+            }
+        }
+    }
+
+    match lost {
+        None => Ok(EpochOutcome::Done { l2 }),
+        Some((worker, detail)) => Ok(EpochOutcome::WorkerLost { worker, detail }),
+    }
+}

@@ -1,0 +1,158 @@
+//! Mode-sharded multi-process training with bitwise process-count parity.
+//!
+//! Single-process epoch speedup is saturated (see BENCH_train_kernels):
+//! the deterministic chunk scheduler has hit its ceiling inside one
+//! address space. This module goes past it the way distributed-memory
+//! tensor-completion systems do (Singh et al., arXiv:1910.02371): shard
+//! the COO entry-chunk grid across worker **processes** and exchange only
+//! [`crate::sparse_grads::SparseGrads`]-style touched-row deltas per step.
+//!
+//! # Architecture
+//!
+//! * **Coordinator** ([`coordinator`], driven through
+//!   [`crate::train::TcssTrainer::train_distributed`]) — owns the model,
+//!   the Adam state, the whole-data Gram tail, the Hausdorff head, the
+//!   divergence watchdog, and the checkpoints. It spawns N workers,
+//!   assigns each a **contiguous block** of the global entry-chunk grid,
+//!   broadcasts the full model each step, and merges the returned deltas.
+//! * **Workers** ([`worker::run_worker`], the hidden `dist-worker` CLI
+//!   subcommand / the `tcss-dist-worker` test binary) — stateless chunk
+//!   evaluators. A worker holds the tensor (shipped once in Setup) and,
+//!   per step, the broadcast model; it evaluates exactly the per-chunk
+//!   kernels the in-process path runs and ships each chunk's delta back
+//!   un-merged.
+//! * **Transport** ([`wire`]) — Unix sockets with hand-rolled
+//!   length-prefixed framing (no async runtime), every frame checksummed
+//!   with [`crate::digest::fnv1a64`].
+//!
+//! # The process-count-parity contract
+//!
+//! The thread-count-parity contract of `tcss_linalg::parallel` extends to
+//! worker processes because nothing about the float stream changes:
+//!
+//! 1. the **global chunk grid** (`chunk_count(nnz, ENTRIES_PER_CHUNK)`)
+//!    depends only on the tensor, never on the worker count;
+//! 2. each chunk's value is computed by the *same* kernel functions the
+//!    in-process path calls ([`crate::loss::l2_entry_chunk`] /
+//!    `negative_sampling_chunk`), pure functions of `(model, entries,
+//!    global range)` — a worker's thread count only reorders *which cores*
+//!    evaluate chunks, never their contents;
+//! 3. workers own contiguous blocks in worker order, and the coordinator
+//!    merges worker 0's chunks, then worker 1's, … so the merge visits
+//!    chunks in ascending **global** chunk order — the exact add sequence
+//!    of the single-process fold;
+//! 4. floats travel as `f64::to_le_bytes` (lossless), and the coordinator
+//!    replays each chunk's scatter adds element-for-element.
+//!
+//! Therefore 1, 2, and 4 workers (at any `TCSS_NUM_THREADS` per worker)
+//! produce bit-identical models to the in-process trainer —
+//! `tests/dist_parity.rs` proptests this end to end.
+//!
+//! # Failure model
+//!
+//! Workers are stateless, so recovery is replay: if a worker dies
+//! (detected as an I/O error or EOF on its socket — there are no
+//! application-level timeouts to tune), the coordinator respawns it,
+//! re-sends Setup, rolls the run back to the last checkpoint (the on-disk
+//! one when checkpointing is enabled, else the in-memory rollback
+//! snapshot), and continues; `max_respawns` bounds the budget. Epoch
+//! replay is bit-exact for the same reason resume is: epochs are pure
+//! functions of `(model, adam, epoch)`. The kill-worker fault in
+//! [`crate::fault::FaultPlan`] drives this path in `tests/dist_fault.rs`.
+
+pub mod coordinator;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{DistConfig, DistReport};
+pub use wire::{encode_frame, FrameDecoder, WireError};
+pub use worker::run_worker;
+
+use std::io::Read;
+
+/// Typed failures of the distributed runtime.
+#[derive(Debug)]
+pub enum DistError {
+    /// Spawning a worker process failed.
+    Spawn {
+        /// The worker program that failed to start.
+        program: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Socket-level I/O failed (bind, accept, read, write).
+    Io(std::io::Error),
+    /// A frame or message failed to decode.
+    Wire(WireError),
+    /// A peer violated the coordinator/worker protocol.
+    Protocol(String),
+    /// A worker died and the respawn budget is exhausted.
+    RespawnBudgetExhausted {
+        /// Worker whose loss exhausted the budget.
+        worker: usize,
+        /// Epoch being dispatched when it was lost.
+        epoch: usize,
+        /// Respawns consumed (the budget plus the final straw).
+        respawns: u32,
+        /// How the loss surfaced.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Spawn { program, source } => {
+                write!(f, "failed to spawn worker program {program:?}: {source}")
+            }
+            DistError::Io(e) => write!(f, "transport I/O error: {e}"),
+            DistError::Wire(e) => write!(f, "wire error: {e}"),
+            DistError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DistError::RespawnBudgetExhausted {
+                worker,
+                epoch,
+                respawns,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} lost at epoch {epoch} after {respawns} respawn(s) \
+                 exhausted the budget: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> Self {
+        DistError::Wire(e)
+    }
+}
+
+/// Read whole frames from a blocking stream through a push-based decoder.
+/// A clean EOF between frames is `Ok(None)`; EOF mid-frame is a typed
+/// [`WireError::TruncatedEof`].
+pub(crate) fn read_frame(
+    stream: &mut impl Read,
+    dec: &mut FrameDecoder,
+) -> Result<Option<Vec<u8>>, DistError> {
+    let mut tmp = [0u8; 64 * 1024];
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(Some(frame));
+        }
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            dec.finish()?;
+            return Ok(None);
+        }
+        dec.push(&tmp[..n]);
+    }
+}

@@ -1,0 +1,844 @@
+//! Length-prefixed, checksummed framing and message codec for the
+//! distributed-training transport.
+//!
+//! Same hand-rolled idiom as `tcss_serve::net::frame` (no async runtime,
+//! no serialization crates), with one addition: every frame carries a
+//! trailing [`crate::digest::fnv1a64`] checksum of its payload, so a torn
+//! or corrupted delta exchange surfaces as a typed
+//! [`WireError::ChecksumMismatch`] instead of silently perturbing
+//! training. Wire format of one frame:
+//!
+//! ```text
+//! [u32 LE payload length][payload bytes][u64 LE fnv1a64(payload)]
+//! ```
+//!
+//! All multi-byte integers and floats are little-endian; `f64`s travel as
+//! `to_le_bytes`/`from_le_bytes`, which round-trips every bit pattern —
+//! the process-count-parity contract depends on that exactness.
+//!
+//! The decoder is push-based and cannot block or hang: feed it arbitrary
+//! byte splits with [`FrameDecoder::push`], drain complete frames with
+//! [`FrameDecoder::next_frame`], and signal EOF with
+//! [`FrameDecoder::finish`]. A decoder that has reported an error is
+//! poisoned: the stream cannot be resynchronized after a framing fault,
+//! so further use keeps failing instead of mis-parsing.
+
+use crate::digest::fnv1a64;
+use crate::loss::Grads;
+use crate::model::TcssModel;
+use crate::sparse_grads::SparseGrads;
+use tcss_linalg::Matrix;
+use tcss_sparse::TensorEntry;
+
+/// Bytes in the length prefix.
+pub const HEADER_LEN: usize = 4;
+/// Bytes in the checksum trailer.
+pub const TRAILER_LEN: usize = 8;
+/// Frame-size cap for the training transport. Delta frames scale with
+/// `touched rows × rank`, and a full-model broadcast is `(I+J+K+1)·r`
+/// doubles, so the cap is generous; anything larger is a corrupt length
+/// prefix, not a real message.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Message tags (first payload byte).
+pub(crate) const TAG_HELLO: u8 = 1;
+pub(crate) const TAG_SETUP: u8 = 2;
+pub(crate) const TAG_STEP: u8 = 3;
+pub(crate) const TAG_DELTAS: u8 = 4;
+pub(crate) const TAG_SHUTDOWN: u8 = 5;
+
+/// Typed decode failures. Every malformed input maps to exactly one of
+/// these — the codec never panics and the decoder never blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A length prefix declared a frame larger than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Length the prefix declared.
+        declared: usize,
+        /// The decoder's cap.
+        max: usize,
+    },
+    /// The stream ended mid-frame.
+    TruncatedEof {
+        /// Bytes left in the buffer when EOF was signalled.
+        buffered: usize,
+    },
+    /// The payload checksum did not match its trailer.
+    ChecksumMismatch {
+        /// Checksum the trailer carried.
+        expected: u64,
+        /// Checksum recomputed over the received payload.
+        got: u64,
+    },
+    /// A structurally invalid message payload (bad tag, truncated field,
+    /// inconsistent dimensions).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds cap of {max}")
+            }
+            WireError::TruncatedEof { buffered } => {
+                write!(f, "stream ended mid-frame with {buffered} bytes buffered")
+            }
+            WireError::ChecksumMismatch { expected, got } => write!(
+                f,
+                "frame checksum mismatch: trailer {expected:016x}, payload hashes to {got:016x}"
+            ),
+            WireError::Malformed(msg) => write!(f, "malformed message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Frame encoding / decoding
+// ---------------------------------------------------------------------
+
+/// Encode one frame: length prefix, payload, checksum trailer.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out
+}
+
+/// Push-based frame decoder. Mirrors `tcss_serve::net::frame::FrameDecoder`
+/// (buffer + compaction + poisoning) with the checksum trailer added.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Append raw bytes from the transport. Accepts arbitrary splits —
+    /// byte-at-a-time and whole-stream-at-once decode identically.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so long sessions don't grow the buffer forever.
+        if self.pos >= 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to extract the next complete, checksum-verified payload.
+    /// `Ok(None)` means "need more bytes".
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.poisoned {
+            return Err(WireError::Malformed(
+                "decoder already failed; the stream cannot be resynchronized".into(),
+            ));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes(avail[..HEADER_LEN].try_into().unwrap()) as usize;
+        if declared > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(WireError::Oversized {
+                declared,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        let total = HEADER_LEN + declared + TRAILER_LEN;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + declared];
+        let expected = u64::from_le_bytes(avail[HEADER_LEN + declared..total].try_into().unwrap());
+        let got = fnv1a64(payload);
+        if got != expected {
+            self.poisoned = true;
+            return Err(WireError::ChecksumMismatch { expected, got });
+        }
+        let out = payload.to_vec();
+        self.pos += total;
+        Ok(Some(out))
+    }
+
+    /// Signal EOF: any buffered partial frame is a typed error.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.buffered() != 0 {
+            return Err(WireError::TruncatedEof {
+                buffered: self.buffered(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive readers
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over a message payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Malformed(format!(
+                "payload truncated reading {what}: need {n} bytes, have {}",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// `n` contiguous `f64`s appended onto `out`.
+    pub(crate) fn f64s_into(
+        &mut self,
+        n: usize,
+        out: &mut Vec<f64>,
+        what: &str,
+    ) -> Result<(), WireError> {
+        let bytes = self.take(n * 8, what)?;
+        out.reserve(n);
+        for c in bytes.chunks_exact(8) {
+            out.push(f64::from_le_bytes(c.try_into().unwrap()));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after message end",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    out.reserve(vs.len() * 8);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------
+
+/// Worker → coordinator greeting, sent immediately after connecting.
+pub(crate) fn encode_hello(worker: u32) -> Vec<u8> {
+    let mut p = vec![TAG_HELLO];
+    put_u32(&mut p, worker);
+    p
+}
+
+pub(crate) fn decode_hello(payload: &[u8]) -> Result<u32, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_HELLO, "Hello")?;
+    let w = r.u32("worker id")?;
+    r.done()?;
+    Ok(w)
+}
+
+/// Which entry-chunk kernel the worker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireLoss {
+    /// [`crate::loss::l2_entry_chunk`] — the rewritten whole-data positive
+    /// term (the Gram tail stays on the coordinator).
+    L2Entries = 0,
+    /// [`crate::loss::negative_sampling_chunk`] — positives plus sampled
+    /// negatives, RNG keyed to the global chunk index.
+    NegSampling = 1,
+}
+
+/// Everything a stateless worker needs to evaluate its chunk block:
+/// tensor, weights, kernel choice, seed, the block of **global** chunk
+/// indices it owns, and its thread count.
+#[derive(Debug)]
+pub(crate) struct Setup {
+    pub dims: (usize, usize, usize),
+    pub rank: usize,
+    pub w_plus: f64,
+    pub w_minus: f64,
+    pub loss: WireLoss,
+    pub seed: u64,
+    pub chunk_start: usize,
+    pub chunk_end: usize,
+    pub threads: usize,
+    pub entries: Vec<TensorEntry>,
+}
+
+pub(crate) fn encode_setup(s: &Setup) -> Vec<u8> {
+    let mut p = vec![TAG_SETUP];
+    put_u32(&mut p, s.dims.0 as u32);
+    put_u32(&mut p, s.dims.1 as u32);
+    put_u32(&mut p, s.dims.2 as u32);
+    put_u32(&mut p, s.rank as u32);
+    put_f64(&mut p, s.w_plus);
+    put_f64(&mut p, s.w_minus);
+    p.push(s.loss as u8);
+    put_u64(&mut p, s.seed);
+    put_u64(&mut p, s.chunk_start as u64);
+    put_u64(&mut p, s.chunk_end as u64);
+    put_u32(&mut p, s.threads as u32);
+    put_u64(&mut p, s.entries.len() as u64);
+    for e in &s.entries {
+        put_u32(&mut p, e.i as u32);
+        put_u32(&mut p, e.j as u32);
+        put_u32(&mut p, e.k as u32);
+        put_f64(&mut p, e.value);
+    }
+    p
+}
+
+pub(crate) fn decode_setup(payload: &[u8]) -> Result<Setup, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_SETUP, "Setup")?;
+    let dims = (
+        r.u32("dim I")? as usize,
+        r.u32("dim J")? as usize,
+        r.u32("dim K")? as usize,
+    );
+    let rank = r.u32("rank")? as usize;
+    let w_plus = r.f64("w_plus")?;
+    let w_minus = r.f64("w_minus")?;
+    let loss = match r.u8("loss strategy")? {
+        0 => WireLoss::L2Entries,
+        1 => WireLoss::NegSampling,
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown loss strategy {other}"
+            )))
+        }
+    };
+    let seed = r.u64("seed")?;
+    let chunk_start = r.u64("chunk_start")? as usize;
+    let chunk_end = r.u64("chunk_end")? as usize;
+    let threads = r.u32("threads")? as usize;
+    let n = r.u64("entry count")? as usize;
+    if chunk_start > chunk_end {
+        return Err(WireError::Malformed(format!(
+            "chunk block start {chunk_start} exceeds end {chunk_end}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n.min(1 << 24));
+    for idx in 0..n {
+        let i = r.u32("entry i")? as usize;
+        let j = r.u32("entry j")? as usize;
+        let k = r.u32("entry k")? as usize;
+        let value = r.f64("entry value")?;
+        if i >= dims.0 || j >= dims.1 || k >= dims.2 {
+            return Err(WireError::Malformed(format!(
+                "entry {idx} index ({i}, {j}, {k}) out of bounds for {dims:?}"
+            )));
+        }
+        entries.push(TensorEntry { i, j, k, value });
+    }
+    r.done()?;
+    Ok(Setup {
+        dims,
+        rank,
+        w_plus,
+        w_minus,
+        loss,
+        seed,
+        chunk_start,
+        chunk_end,
+        threads,
+        entries,
+    })
+}
+
+/// Coordinator → worker: "evaluate your chunk block against this model".
+/// The full model travels every step — factors are a few hundred KB even
+/// at bench scale, and a stateless worker is what makes respawn-and-replay
+/// recovery trivially bit-exact.
+/// Coordinator → worker: one epoch's model. `U²`/`U³`/`h` ship whole;
+/// `U¹` ships only the row window `[u1_lo, u1_hi)` — for the entry-loss
+/// kernels a worker only ever reads the `U¹` rows its contiguous (sorted
+/// COO) chunk block touches, so the coordinator sends each worker its
+/// window instead of broadcasting all of `U¹` `N` times. (Negative
+/// sampling reads arbitrary rows, so there the coordinator passes the
+/// full window.) Unsent rows decode as zeros and are never read, keeping
+/// the float stream bit-identical.
+pub(crate) fn encode_step(epoch: u64, model: &TcssModel, u1_lo: usize, u1_hi: usize) -> Vec<u8> {
+    let (i, j, k) = model.dims();
+    let r = model.rank();
+    debug_assert!(u1_lo <= u1_hi && u1_hi <= i);
+    let mut p = Vec::with_capacity(1 + 8 + 24 + ((u1_hi - u1_lo) + j + k + 1) * r * 8);
+    p.push(TAG_STEP);
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, i as u32);
+    put_u32(&mut p, j as u32);
+    put_u32(&mut p, k as u32);
+    put_u32(&mut p, r as u32);
+    put_u32(&mut p, u1_lo as u32);
+    put_u32(&mut p, u1_hi as u32);
+    put_f64s(&mut p, &model.u1.as_slice()[u1_lo * r..u1_hi * r]);
+    put_f64s(&mut p, model.u2.as_slice());
+    put_f64s(&mut p, model.u3.as_slice());
+    put_f64s(&mut p, &model.h);
+    p
+}
+
+pub(crate) fn decode_step(payload: &[u8]) -> Result<(u64, TcssModel), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_STEP, "Step")?;
+    let epoch = r.u64("epoch")?;
+    let i = r.u32("dim I")? as usize;
+    let j = r.u32("dim J")? as usize;
+    let k = r.u32("dim K")? as usize;
+    let rank = r.u32("rank")? as usize;
+    let u1_lo = r.u32("u1 window lo")? as usize;
+    let u1_hi = r.u32("u1 window hi")? as usize;
+    if u1_lo > u1_hi || u1_hi > i {
+        return Err(WireError::Malformed(format!(
+            "U1 window {u1_lo}..{u1_hi} outside dimension {i}"
+        )));
+    }
+    let u1 = {
+        let mut window = Vec::new();
+        r.f64s_into((u1_hi - u1_lo) * rank, &mut window, "U1 window")?;
+        let mut data = vec![0.0; i * rank];
+        data[u1_lo * rank..u1_hi * rank].copy_from_slice(&window);
+        Matrix::from_vec(i, rank, data)
+            .map_err(|e| WireError::Malformed(format!("bad U1 factor: {e}")))?
+    };
+    let mut factor = |rows: usize, what: &str| -> Result<Matrix, WireError> {
+        let mut data = Vec::new();
+        r.f64s_into(rows * rank, &mut data, what)?;
+        Matrix::from_vec(rows, rank, data)
+            .map_err(|e| WireError::Malformed(format!("bad {what} factor: {e}")))
+    };
+    let u2 = factor(j, "U2")?;
+    let u3 = factor(k, "U3")?;
+    let mut h = Vec::new();
+    r.f64s_into(rank, &mut h, "h")?;
+    r.done()?;
+    let mut model = TcssModel::try_new(u1, u2, u3)
+        .map_err(|e| WireError::Malformed(format!("inconsistent model: {e}")))?;
+    model.h = h;
+    Ok((epoch, model))
+}
+
+/// Worker → coordinator: per-chunk sparse deltas for one step, in
+/// ascending global chunk order, **un-merged** — the coordinator replays
+/// each chunk's [`SparseGrads::scatter_into`] adds itself, in global chunk
+/// order, so a worker-side pre-merge can never change the float stream.
+pub(crate) fn encode_deltas(
+    epoch: u64,
+    busy_ns: u64,
+    rank: usize,
+    chunks: &[(f64, SparseGrads)],
+) -> Vec<u8> {
+    let mut p = vec![TAG_DELTAS];
+    put_u64(&mut p, epoch);
+    put_u64(&mut p, busy_ns);
+    put_u32(&mut p, rank as u32);
+    put_u32(&mut p, chunks.len() as u32);
+    for (loss, delta) in chunks {
+        put_f64(&mut p, *loss);
+        let (r, factors, h) = delta.wire_parts();
+        debug_assert_eq!(r, rank);
+        for (rows, data) in factors {
+            put_u32(&mut p, rows.len() as u32);
+            for &row in rows {
+                put_u32(&mut p, row);
+            }
+            put_f64s(&mut p, data);
+        }
+        put_f64s(&mut p, h);
+    }
+    p
+}
+
+/// Peek a Deltas frame's epoch without applying it (the coordinator
+/// discards frames from replayed epochs after a rollback).
+pub(crate) fn deltas_epoch(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_DELTAS, "Deltas")?;
+    r.u64("epoch")
+}
+
+/// Decode a Deltas frame, replaying each chunk's scatter adds directly
+/// into `grads` and accumulating each chunk's loss into `l2` — one `+=`
+/// per touched element / per chunk loss, in payload (= ascending chunk)
+/// order, exactly the adds the in-process merge performs. Returns
+/// `(busy_ns, chunks_applied)`.
+pub(crate) fn apply_deltas(
+    payload: &[u8],
+    expect_epoch: u64,
+    grads: &mut Grads,
+    l2: &mut f64,
+) -> Result<(u64, usize), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_DELTAS, "Deltas")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "deltas for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let busy_ns = r.u64("busy_ns")?;
+    let rank = r.u32("rank")? as usize;
+    if rank != grads.h.len() {
+        return Err(WireError::Malformed(format!(
+            "delta rank {rank} does not match model rank {}",
+            grads.h.len()
+        )));
+    }
+    let n_chunks = r.u32("chunk count")? as usize;
+    let mut row_buf: Vec<u32> = Vec::new();
+    for c in 0..n_chunks {
+        *l2 += r.f64("chunk loss")?;
+        for (f, rows_in_factor) in [
+            (0usize, grads.u1.rows()),
+            (1, grads.u2.rows()),
+            (2, grads.u3.rows()),
+        ] {
+            let n_rows = r.u32("touched-row count")? as usize;
+            row_buf.clear();
+            row_buf.reserve(n_rows);
+            for _ in 0..n_rows {
+                row_buf.push(r.u32("row index")?);
+            }
+            let data = r.take(n_rows * rank * 8, "row data")?;
+            let dense = match f {
+                0 => &mut grads.u1,
+                1 => &mut grads.u2,
+                _ => &mut grads.u3,
+            };
+            for (slot, &row) in row_buf.iter().enumerate() {
+                if row as usize >= rows_in_factor {
+                    return Err(WireError::Malformed(format!(
+                        "chunk {c} factor {f} touches row {row}, but it only has {rows_in_factor}"
+                    )));
+                }
+                let src = &data[slot * rank * 8..(slot + 1) * rank * 8];
+                for (d, s) in dense
+                    .row_mut(row as usize)
+                    .iter_mut()
+                    .zip(src.chunks_exact(8))
+                {
+                    *d += f64::from_le_bytes(s.try_into().unwrap());
+                }
+            }
+        }
+        let h_bytes = r.take(rank * 8, "chunk h gradient")?;
+        for (d, s) in grads.h.iter_mut().zip(h_bytes.chunks_exact(8)) {
+            *d += f64::from_le_bytes(s.try_into().unwrap());
+        }
+    }
+    r.done()?;
+    Ok((busy_ns, n_chunks))
+}
+
+/// Coordinator → worker: clean exit.
+pub(crate) fn encode_shutdown() -> Vec<u8> {
+    vec![TAG_SHUTDOWN]
+}
+
+/// The tag of a decoded payload (empty payloads are malformed).
+pub(crate) fn tag_of(payload: &[u8]) -> Result<u8, WireError> {
+    payload
+        .first()
+        .copied()
+        .ok_or_else(|| WireError::Malformed("empty message payload".into()))
+}
+
+fn expect_tag(r: &mut Reader<'_>, tag: u8, name: &str) -> Result<(), WireError> {
+    let got = r.u8("message tag")?;
+    if got != tag {
+        return Err(WireError::Malformed(format!(
+            "expected {name} (tag {tag}), got tag {got}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worker patches `busy_ns` over its placeholder after encoding
+    /// (so encode time itself is counted); the field must stay at bytes
+    /// 9..17 of the Deltas payload.
+    #[test]
+    fn deltas_busy_ns_lives_at_bytes_9_to_17() {
+        let (u1, u2, u3) = crate::init::random_init((2, 2, 2), 2, 1);
+        let model = TcssModel::new(u1, u2, u3);
+        let mut payload = encode_deltas(3, 0, 2, &[]);
+        payload[9..17].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        let mut grads = Grads::zeros(&model);
+        let mut l2 = 0.0;
+        let (busy, n) = apply_deltas(&payload, 3, &mut grads, &mut l2).expect("decodes");
+        assert_eq!(busy, 0xDEAD_BEEF);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_arbitrary_split() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![42], (0..255).collect()];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        // Byte-at-a-time must decode identically to all-at-once.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn corrupt_payload_is_checksum_mismatch() {
+        let mut f = encode_frame(b"delta payload");
+        f[HEADER_LEN + 3] ^= 0x10;
+        let mut dec = FrameDecoder::new();
+        dec.push(&f);
+        let err = dec.next_frame().unwrap_err();
+        assert!(matches!(err, WireError::ChecksumMismatch { .. }), "{err}");
+        // Poisoned afterwards.
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn oversized_frame_is_typed() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&(u32::MAX).to_le_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert!(matches!(err, WireError::Oversized { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_typed_at_eof() {
+        let f = encode_frame(b"whole frame");
+        let mut dec = FrameDecoder::new();
+        dec.push(&f[..f.len() - 3]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        let err = dec.finish().unwrap_err();
+        assert!(matches!(err, WireError::TruncatedEof { .. }), "{err}");
+    }
+
+    #[test]
+    fn setup_roundtrip() {
+        let setup = Setup {
+            dims: (6, 5, 4),
+            rank: 3,
+            w_plus: 0.95,
+            w_minus: 0.05,
+            loss: WireLoss::NegSampling,
+            seed: 0xDEADBEEF,
+            chunk_start: 2,
+            chunk_end: 7,
+            threads: 2,
+            entries: vec![
+                TensorEntry {
+                    i: 1,
+                    j: 2,
+                    k: 3,
+                    value: 1.0,
+                },
+                TensorEntry {
+                    i: 5,
+                    j: 0,
+                    k: 0,
+                    value: -0.25,
+                },
+            ],
+        };
+        let s = decode_setup(&encode_setup(&setup)).unwrap();
+        assert_eq!(s.dims, setup.dims);
+        assert_eq!(s.rank, setup.rank);
+        assert_eq!(s.loss, setup.loss);
+        assert_eq!(s.seed, setup.seed);
+        assert_eq!((s.chunk_start, s.chunk_end), (2, 7));
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.entries[1].value.to_bits(), (-0.25f64).to_bits());
+    }
+
+    #[test]
+    fn setup_rejects_out_of_bounds_entry() {
+        let setup = Setup {
+            dims: (2, 2, 2),
+            rank: 1,
+            w_plus: 0.9,
+            w_minus: 0.1,
+            loss: WireLoss::L2Entries,
+            seed: 0,
+            chunk_start: 0,
+            chunk_end: 1,
+            threads: 1,
+            entries: vec![TensorEntry {
+                i: 2,
+                j: 0,
+                k: 0,
+                value: 1.0,
+            }],
+        };
+        let err = decode_setup(&encode_setup(&setup)).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn step_roundtrip_is_bit_exact() {
+        let u1 =
+            Matrix::from_vec(3, 2, vec![0.1, -0.2, 1e-300, f64::MIN_POSITIVE, 3.0, 4.0]).unwrap();
+        let u2 = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let u3 = Matrix::from_vec(2, 2, vec![-1.0, -2.0, -3.0, -4.0]).unwrap();
+        let mut model = TcssModel::new(u1, u2, u3);
+        model.h = vec![0.5, -0.0];
+        let (epoch, decoded) = decode_step(&encode_step(17, &model, 0, 3)).unwrap();
+        assert_eq!(epoch, 17);
+
+        // A partial U¹ window round-trips the shipped rows bit-exactly and
+        // zero-fills the rest.
+        let (_, windowed) = decode_step(&encode_step(17, &model, 1, 3)).unwrap();
+        assert_eq!(windowed.u1.row(0), &[0.0, 0.0]);
+        assert_eq!(windowed.u1.row(1), model.u1.row(1));
+        assert_eq!(windowed.u1.row(2), model.u1.row(2));
+        let bits = |m: &TcssModel| -> Vec<u64> {
+            m.u1.as_slice()
+                .iter()
+                .chain(m.u2.as_slice())
+                .chain(m.u3.as_slice())
+                .chain(&m.h)
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&model), bits(&decoded));
+    }
+
+    #[test]
+    fn deltas_apply_matches_scatter_into_bitwise() {
+        use crate::init::random_init;
+        use crate::sparse_grads::{backprop_entry_sparse, GradScratch};
+        let (u1, u2, u3) = random_init((5, 6, 4), 3, 11);
+        let model = TcssModel::new(u1, u2, u3);
+        let mut scratch = GradScratch::for_model(&model);
+        let mut chunks = Vec::new();
+        for c in 0..3usize {
+            let mut delta = SparseGrads::new();
+            delta.begin(&model);
+            backprop_entry_sparse(
+                &model,
+                &mut delta,
+                &mut scratch,
+                c,
+                c + 1,
+                c % 4,
+                0.5 + c as f64,
+            );
+            backprop_entry_sparse(&model, &mut delta, &mut scratch, c, 0, 0, -1.25);
+            delta.detach(&mut scratch);
+            chunks.push((0.125 * (c as f64 + 1.0), delta));
+        }
+        let mut direct = Grads::zeros(&model);
+        let mut direct_loss = 0.0;
+        for (l, d) in &chunks {
+            direct_loss += l;
+            d.scatter_into(&mut direct);
+        }
+        let payload = encode_deltas(9, 1234, model.rank(), &chunks);
+        assert_eq!(deltas_epoch(&payload).unwrap(), 9);
+        let mut wired = Grads::zeros(&model);
+        let mut wired_loss = 0.0;
+        let (busy, n) = apply_deltas(&payload, 9, &mut wired, &mut wired_loss).unwrap();
+        assert_eq!((busy, n), (1234, 3));
+        assert_eq!(direct_loss.to_bits(), wired_loss.to_bits());
+        let bits = |g: &Grads| -> Vec<u64> {
+            g.u1.as_slice()
+                .iter()
+                .chain(g.u2.as_slice())
+                .chain(g.u3.as_slice())
+                .chain(&g.h)
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&direct), bits(&wired));
+    }
+
+    #[test]
+    fn deltas_for_wrong_epoch_are_rejected() {
+        let payload = encode_deltas(3, 0, 2, &[]);
+        let mut grads = Grads {
+            u1: Matrix::zeros(1, 2),
+            u2: Matrix::zeros(1, 2),
+            u3: Matrix::zeros(1, 2),
+            h: vec![0.0; 2],
+        };
+        let mut l2 = 0.0;
+        let err = apply_deltas(&payload, 4, &mut grads, &mut l2).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+    }
+}

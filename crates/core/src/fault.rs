@@ -34,6 +34,7 @@ use std::path::Path;
 pub struct FaultPlan {
     poison_at: Cell<Option<usize>>,
     crash_before: Cell<Option<usize>>,
+    kill_worker_at: Cell<Option<(usize, usize)>>,
 }
 
 impl FaultPlan {
@@ -57,6 +58,30 @@ impl FaultPlan {
         FaultPlan {
             crash_before: Cell::new(Some(epoch)),
             ..FaultPlan::default()
+        }
+    }
+
+    /// During distributed training ([`crate::dist`]), `SIGKILL` worker
+    /// process `worker` immediately before the coordinator dispatches
+    /// `epoch`, once. The coordinator must detect the loss, respawn the
+    /// worker, roll back to its last checkpoint and still produce the
+    /// uninterrupted run's model bit-for-bit.
+    pub fn kill_worker_at(epoch: usize, worker: usize) -> Self {
+        FaultPlan {
+            kill_worker_at: Cell::new(Some((epoch, worker))),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Consume the kill-worker trigger if it matches `epoch`, yielding the
+    /// index of the worker to kill.
+    pub(crate) fn take_kill_worker(&self, epoch: usize) -> Option<usize> {
+        match self.kill_worker_at.get() {
+            Some((at, worker)) if at == epoch => {
+                self.kill_worker_at.set(None);
+                Some(worker)
+            }
+            _ => None,
         }
     }
 
@@ -134,6 +159,10 @@ mod tests {
         assert!(!plan.take_crash(4));
         assert!(plan.take_crash(5));
         assert!(!plan.take_crash(5), "crash must be consumed");
+        let plan = FaultPlan::kill_worker_at(2, 1);
+        assert_eq!(plan.take_kill_worker(1), None);
+        assert_eq!(plan.take_kill_worker(2), Some(1));
+        assert_eq!(plan.take_kill_worker(2), None, "kill must be consumed");
     }
 
     #[test]

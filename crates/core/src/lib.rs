@@ -37,6 +37,8 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod digest;
+pub mod dist;
 pub mod fault;
 pub mod hausdorff;
 pub mod init;
@@ -52,6 +54,7 @@ pub use checkpoint::{
     config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint, CHECKPOINT_FILE,
 };
 pub use config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+pub use dist::{DistConfig, DistError, DistReport};
 pub use fault::FaultPlan;
 pub use hausdorff::{SocialHausdorffHead, UserScratch};
 pub use init::{onehot_init, random_init, solve_h, spectral_init};

@@ -120,7 +120,7 @@ pub(crate) fn backprop_entry(
 /// Shared tail of the rewritten loss: accumulates the Gram-matrix term of
 /// Eq 15 into `loss` (in place, preserving the accumulation order the
 /// bitwise contracts depend on) and its gradient into `grads`.
-fn whole_data_term(model: &TcssModel, w_minus: f64, loss: &mut f64, grads: &mut Grads) {
+pub(crate) fn whole_data_term(model: &TcssModel, w_minus: f64, loss: &mut f64, grads: &mut Grads) {
     let r = model.h.len();
     let g1 = model.u1.gram();
     let g2 = model.u2.gram();
@@ -210,15 +210,9 @@ pub fn rewritten_loss_and_grad_ws(
         },
         |scratch, range| {
             let mut delta = ws.deltas.take(SparseGrads::new);
-            delta.begin(model);
-            let mut loss = 0.0;
-            for e in &positives[range] {
-                let s = model.predict(e.i, e.j, e.k);
-                loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
-                let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
-                backprop_entry_sparse(model, &mut delta, scratch, e.i, e.j, e.k, c);
-            }
-            delta.detach(scratch);
+            let loss = l2_entry_chunk(
+                model, positives, range, w_plus, w_minus, scratch, &mut delta,
+            );
             (loss, delta)
         },
     );
@@ -229,6 +223,36 @@ pub fn rewritten_loss_and_grad_ws(
         ws.deltas.put(delta);
     }
     whole_data_term(model, w_minus, &mut loss, grads);
+    loss
+}
+
+/// One entry chunk of the rewritten-loss positive term: the pure function
+/// of `(model, entries, global range)` behind the deterministic-reduction
+/// contract. Shared verbatim by the in-process parallel path above and by
+/// distributed-training worker processes ([`crate::dist`]) — one body, so
+/// the two can never drift a bit apart.
+///
+/// `range` must be a chunk of the **global** entry grid (multiples of
+/// [`ENTRIES_PER_CHUNK`]); `delta` is reset via [`SparseGrads::begin`] and
+/// detached from `scratch` before returning.
+pub(crate) fn l2_entry_chunk(
+    model: &TcssModel,
+    positives: &[TensorEntry],
+    range: std::ops::Range<usize>,
+    w_plus: f64,
+    w_minus: f64,
+    scratch: &mut GradScratch,
+    delta: &mut SparseGrads,
+) -> f64 {
+    delta.begin(model);
+    let mut loss = 0.0;
+    for e in &positives[range] {
+        let s = model.predict(e.i, e.j, e.k);
+        loss += (w_plus - w_minus) * s * s - 2.0 * w_plus * e.value * s;
+        let c = 2.0 * (w_plus - w_minus) * s - 2.0 * w_plus * e.value;
+        backprop_entry_sparse(model, delta, scratch, e.i, e.j, e.k, c);
+    }
+    delta.detach(scratch);
     loss
 }
 
@@ -291,7 +315,6 @@ pub fn negative_sampling_loss_and_grad_ws(
     ws: &TrainWorkspace,
     grads: &mut Grads,
 ) -> f64 {
-    let (i_dim, j_dim, k_dim) = tensor.dims();
     let entries = tensor.entries();
     let partials = tcss_linalg::map_chunks_with(
         entries.len(),
@@ -302,53 +325,10 @@ pub fn negative_sampling_loss_and_grad_ws(
             scratch
         },
         |scratch, range| {
-            // SplitMix64-style mix of (seed, chunk) into an independent
-            // per-chunk stream.
-            let chunk = (range.start / ENTRIES_PER_CHUNK) as u64;
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
-            );
             let mut delta = ws.deltas.take(SparseGrads::new);
-            delta.begin(model);
-            let mut loss = 0.0;
-            for e in &entries[range] {
-                let s = model.predict(e.i, e.j, e.k);
-                loss += w_plus * (e.value - s) * (e.value - s);
-                backprop_entry_sparse(
-                    model,
-                    &mut delta,
-                    scratch,
-                    e.i,
-                    e.j,
-                    e.k,
-                    2.0 * w_plus * (s - e.value),
-                );
-                // One sampled negative per positive.
-                let mut attempts = 0;
-                loop {
-                    let (ni, nj, nk) = (
-                        rng.gen_range(0..i_dim),
-                        rng.gen_range(0..j_dim),
-                        rng.gen_range(0..k_dim),
-                    );
-                    if !tensor.contains(ni, nj, nk) || attempts > 32 {
-                        let sn = model.predict(ni, nj, nk);
-                        loss += w_minus * sn * sn;
-                        backprop_entry_sparse(
-                            model,
-                            &mut delta,
-                            scratch,
-                            ni,
-                            nj,
-                            nk,
-                            2.0 * w_minus * sn,
-                        );
-                        break;
-                    }
-                    attempts += 1;
-                }
-            }
-            delta.detach(scratch);
+            let loss = negative_sampling_chunk(
+                model, tensor, range, w_plus, w_minus, seed, scratch, &mut delta,
+            );
             (loss, delta)
         },
     );
@@ -358,6 +338,65 @@ pub fn negative_sampling_loss_and_grad_ws(
         delta.scatter_into(grads);
         ws.deltas.put(delta);
     }
+    loss
+}
+
+/// One entry chunk of the negative-sampling loss; the counterpart of
+/// [`l2_entry_chunk`] shared with [`crate::dist`] workers. The per-chunk
+/// RNG stream is keyed to the **global** chunk index (recovered from
+/// `range.start`), so a worker evaluating chunk `c` draws exactly the
+/// negatives the single-process run would have — the process-count-parity
+/// contract for sampled losses rests on this.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn negative_sampling_chunk(
+    model: &TcssModel,
+    tensor: &SparseTensor3,
+    range: std::ops::Range<usize>,
+    w_plus: f64,
+    w_minus: f64,
+    seed: u64,
+    scratch: &mut GradScratch,
+    delta: &mut SparseGrads,
+) -> f64 {
+    let (i_dim, j_dim, k_dim) = tensor.dims();
+    let entries = tensor.entries();
+    // SplitMix64-style mix of (seed, chunk) into an independent
+    // per-chunk stream.
+    let chunk = (range.start / ENTRIES_PER_CHUNK) as u64;
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17));
+    delta.begin(model);
+    let mut loss = 0.0;
+    for e in &entries[range] {
+        let s = model.predict(e.i, e.j, e.k);
+        loss += w_plus * (e.value - s) * (e.value - s);
+        backprop_entry_sparse(
+            model,
+            delta,
+            scratch,
+            e.i,
+            e.j,
+            e.k,
+            2.0 * w_plus * (s - e.value),
+        );
+        // One sampled negative per positive.
+        let mut attempts = 0;
+        loop {
+            let (ni, nj, nk) = (
+                rng.gen_range(0..i_dim),
+                rng.gen_range(0..j_dim),
+                rng.gen_range(0..k_dim),
+            );
+            if !tensor.contains(ni, nj, nk) || attempts > 32 {
+                let sn = model.predict(ni, nj, nk);
+                loss += w_minus * sn * sn;
+                backprop_entry_sparse(model, delta, scratch, ni, nj, nk, 2.0 * w_minus * sn);
+                break;
+            }
+            attempts += 1;
+        }
+    }
+    delta.detach(scratch);
     loss
 }
 

@@ -131,6 +131,11 @@ impl GradScratch {
     }
 }
 
+/// Borrowed wire view of one delta: the rank plus, per factor, the
+/// touched-row indices and their `rows.len() * r` accumulation buffer,
+/// then the dense `h` gradient.
+pub(crate) type WireParts<'a> = (usize, [(&'a [u32], &'a [f64]); 3], &'a [f64]);
+
 /// The sparse gradient delta one parallel chunk produces: touched rows of
 /// the three factors plus the dense `h` gradient. See the module docs for
 /// the merge contract.
@@ -173,6 +178,24 @@ impl SparseGrads {
         self.u1.detach(&mut scratch.slot1);
         self.u2.detach(&mut scratch.slot2);
         self.u3.detach(&mut scratch.slot3);
+    }
+
+    /// Borrow the raw wire representation for the distributed trainer:
+    /// the rank plus, per factor, the touched-row indices and their
+    /// `rows.len() * r` accumulation buffer, then the dense `h` gradient.
+    /// [`crate::dist`] serializes these slices verbatim so the coordinator
+    /// can replay the exact adds [`SparseGrads::scatter_into`] would have
+    /// performed in-process.
+    pub(crate) fn wire_parts(&self) -> WireParts<'_> {
+        (
+            self.r,
+            [
+                (&self.u1.rows, &self.u1.data),
+                (&self.u2.rows, &self.u2.data),
+                (&self.u3.rows, &self.u3.data),
+            ],
+            &self.h,
+        )
     }
 
     /// Add this delta into the shared dense gradients (ascending-chunk-

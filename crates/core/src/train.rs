@@ -14,6 +14,7 @@ use crate::checkpoint::{
     config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint, CHECKPOINT_FILE,
 };
 use crate::config::{HausdorffVariant, InitMethod, LossStrategy, TcssConfig};
+use crate::dist::DistError;
 use crate::fault::{poison, FaultPlan};
 use crate::hausdorff::SocialHausdorffHead;
 use crate::init::{onehot_init, random_init, spectral_init};
@@ -46,6 +47,9 @@ pub enum TrainError {
         /// Epoch the crash pre-empted.
         epoch: usize,
     },
+    /// The distributed-training runtime failed (worker spawn/loss beyond
+    /// the respawn budget, transport corruption, protocol violation).
+    Dist(DistError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for TrainError {
             TrainError::InjectedCrash { epoch } => {
                 write!(f, "injected crash before epoch {epoch}")
             }
+            TrainError::Dist(e) => write!(f, "distributed training error: {e}"),
         }
     }
 }
@@ -73,6 +78,12 @@ impl std::error::Error for TrainError {}
 impl From<ModelIoError> for TrainError {
     fn from(e: ModelIoError) -> Self {
         TrainError::Checkpoint(e)
+    }
+}
+
+impl From<DistError> for TrainError {
+    fn from(e: DistError) -> Self {
+        TrainError::Dist(e)
     }
 }
 
@@ -92,16 +103,18 @@ pub struct TrainReport {
     pub lr_scale: f64,
 }
 
-/// Adam state over a [`Grads`]-shaped parameter space.
+/// Adam state over a [`Grads`]-shaped parameter space. `pub(crate)` so the
+/// distributed coordinator ([`crate::dist`]) can run the exact same
+/// optimizer over worker-gathered gradients.
 #[derive(Clone)]
-struct AdamState {
-    m: Grads,
-    v: Grads,
-    t: u64,
+pub(crate) struct AdamState {
+    pub(crate) m: Grads,
+    pub(crate) v: Grads,
+    pub(crate) t: u64,
 }
 
 impl AdamState {
-    fn new(model: &TcssModel) -> Self {
+    pub(crate) fn new(model: &TcssModel) -> Self {
         AdamState {
             m: Grads::zeros(model),
             v: Grads::zeros(model),
@@ -109,7 +122,13 @@ impl AdamState {
         }
     }
 
-    fn step(&mut self, model: &mut TcssModel, grads: &Grads, lr: f64, weight_decay: f64) {
+    pub(crate) fn step(
+        &mut self,
+        model: &mut TcssModel,
+        grads: &Grads,
+        lr: f64,
+        weight_decay: f64,
+    ) {
         const B1: f64 = 0.9;
         const B2: f64 = 0.999;
         const EPS: f64 = 1e-8;
@@ -160,7 +179,9 @@ pub struct TcssTrainer {
     /// Training tensor (binary).
     pub tensor: SparseTensor3,
     /// Head for `L₁`, present for the Social/SelfHausdorff variants.
-    head: Option<SocialHausdorffHead>,
+    /// `pub(crate)`: the distributed coordinator evaluates the head
+    /// locally (it is not sharded across workers).
+    pub(crate) head: Option<SocialHausdorffHead>,
     /// Per-user allowed-POI mask for the ZeroOut ablation (`None` for other
     /// variants): POIs farther than `σ·d_max` from the user's nearest
     /// *visited* POI are excluded at recommendation time.
@@ -228,6 +249,20 @@ impl TcssTrainer {
             tensor,
             head,
             zero_out_allowed,
+            config,
+        }
+    }
+
+    /// Assemble a trainer over a bare tensor, with no LBSN side
+    /// information: the Hausdorff head and the zero-out mask are disabled
+    /// regardless of `config.hausdorff` (there is no social graph or
+    /// distance matrix to build them from). Used by the parity/property
+    /// suites and benches that train on synthetic tensors directly.
+    pub fn from_tensor(tensor: SparseTensor3, config: TcssConfig) -> Self {
+        TcssTrainer {
+            tensor,
+            head: None,
+            zero_out_allowed: None,
             config,
         }
     }
@@ -334,6 +369,82 @@ impl TcssTrainer {
         (l2, l1)
     }
 
+    /// The coordinator-local tail of an epoch's gradient: everything
+    /// [`TcssTrainer::epoch_grads`] computes *after* the sharded entry
+    /// loop. Workers ship only per-chunk entry deltas; the coordinator
+    /// sums their losses into `l2`, scatters their deltas into `grads`
+    /// (ascending chunk order), and then calls this — adding the
+    /// whole-data Gram term (Eq 15's tail; skipped for negative sampling,
+    /// exactly as in the in-process losses) and the Hausdorff head. Same
+    /// calls in the same order as the in-process path, so the distributed
+    /// epoch is bit-identical by construction.
+    pub(crate) fn epoch_tail(
+        &self,
+        model: &TcssModel,
+        epoch: usize,
+        ws: &TrainWorkspace,
+        grads: &mut Grads,
+        l2: &mut f64,
+    ) -> f64 {
+        let cfg = &self.config;
+        if matches!(
+            cfg.loss,
+            LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive
+        ) {
+            crate::loss::whole_data_term(model, cfg.w_minus, l2, grads);
+        }
+        let mut l1 = 0.0;
+        if let Some(head) = &self.head {
+            if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
+                l1 = head.loss_and_grad_ws(model, grads, cfg.lambda, ws);
+            }
+        }
+        l1
+    }
+
+    /// Fresh-start-or-resume initialization shared by the in-process and
+    /// distributed checkpointed loops: returns
+    /// `(model, adam, start_epoch, lr_scale, retries)`.
+    pub(crate) fn init_run_state(
+        &self,
+        fingerprint: u64,
+    ) -> Result<(TcssModel, AdamState, usize, f64, u32), TrainError> {
+        match &self.config.resume_from {
+            Some(path) => {
+                let ck = load_checkpoint(path)?;
+                if ck.fingerprint != fingerprint {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "checkpoint {} was written under a different \
+                             training configuration (fingerprint {:016x}, \
+                             expected {fingerprint:016x}); refusing to mix \
+                             trajectories",
+                        path.display(),
+                        ck.fingerprint
+                    )));
+                }
+                if ck.model.dims() != self.tensor.dims() {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "checkpoint model dims {:?} do not match the \
+                             training tensor {:?}",
+                        ck.model.dims(),
+                        self.tensor.dims()
+                    )));
+                }
+                let adam = AdamState {
+                    m: ck.m,
+                    v: ck.v,
+                    t: ck.adam_t,
+                };
+                Ok((ck.model, adam, ck.epoch, ck.lr_scale, ck.retries))
+            }
+            None => {
+                let model = self.try_init_model()?;
+                let adam = AdamState::new(&model);
+                Ok((model, adam, 0, 1.0, 0))
+            }
+        }
+    }
+
     /// Train an externally-initialized model in place (used by the Fig 9
     /// convergence study to compare initializations under identical loops).
     pub fn train_model(&self, model: &mut TcssModel, on_epoch: &mut impl FnMut(TrainContext)) {
@@ -396,40 +507,8 @@ impl TcssTrainer {
         let fingerprint = config_fingerprint(cfg);
 
         // --- Fresh start or resume ---------------------------------------
-        let (mut model, mut adam, start_epoch, mut lr_scale, mut retries) = match &cfg.resume_from {
-            Some(path) => {
-                let ck = load_checkpoint(path)?;
-                if ck.fingerprint != fingerprint {
-                    return Err(TrainError::InvalidConfig(format!(
-                        "checkpoint {} was written under a different \
-                             training configuration (fingerprint {:016x}, \
-                             expected {fingerprint:016x}); refusing to mix \
-                             trajectories",
-                        path.display(),
-                        ck.fingerprint
-                    )));
-                }
-                if ck.model.dims() != self.tensor.dims() {
-                    return Err(TrainError::InvalidConfig(format!(
-                        "checkpoint model dims {:?} do not match the \
-                             training tensor {:?}",
-                        ck.model.dims(),
-                        self.tensor.dims()
-                    )));
-                }
-                let adam = AdamState {
-                    m: ck.m,
-                    v: ck.v,
-                    t: ck.adam_t,
-                };
-                (ck.model, adam, ck.epoch, ck.lr_scale, ck.retries)
-            }
-            None => {
-                let model = self.try_init_model()?;
-                let adam = AdamState::new(&model);
-                (model, adam, 0, 1.0, 0)
-            }
-        };
+        let (mut model, mut adam, start_epoch, mut lr_scale, mut retries) =
+            self.init_run_state(fingerprint)?;
 
         // Last state known to be healthy; the rollback target. Starts at
         // the initial (or resumed) state and is refreshed on the
@@ -458,27 +537,7 @@ impl TcssTrainer {
             }
 
             // --- Divergence watchdog -------------------------------------
-            let joint = cfg.lambda.mul_add(l1, l2);
-            let gnorm = grads.norm();
-            let trouble = if !joint.is_finite() {
-                Some(format!("non-finite loss (L₂ {l2}, L₁ {l1})"))
-            } else if !gnorm.is_finite() {
-                Some(format!("non-finite gradient norm {gnorm}"))
-            } else if gnorm > cfg.max_grad_norm {
-                Some(format!(
-                    "gradient norm {gnorm:.3e} exceeds max_grad_norm {:.3e}",
-                    cfg.max_grad_norm
-                ))
-            } else if joint.abs() > cfg.max_grad_norm {
-                Some(format!(
-                    "loss magnitude {:.3e} exceeds max_grad_norm {:.3e}",
-                    joint.abs(),
-                    cfg.max_grad_norm
-                ))
-            } else {
-                None
-            };
-            if let Some(detail) = trouble {
+            if let Some(detail) = divergence_trouble(cfg, l2, l1, &grads) {
                 retries += 1;
                 if retries > cfg.max_retries {
                     return Err(TrainError::Diverged {
@@ -550,10 +609,42 @@ impl TcssTrainer {
     }
 }
 
+/// The divergence watchdog's verdict on one epoch's losses and gradient:
+/// `Some(detail)` if the update must be rejected and rolled back. Shared
+/// by the in-process and distributed ([`crate::dist`]) loops so both
+/// reject exactly the same epochs.
+pub(crate) fn divergence_trouble(
+    cfg: &TcssConfig,
+    l2: f64,
+    l1: f64,
+    grads: &Grads,
+) -> Option<String> {
+    let joint = cfg.lambda.mul_add(l1, l2);
+    let gnorm = grads.norm();
+    if !joint.is_finite() {
+        Some(format!("non-finite loss (L₂ {l2}, L₁ {l1})"))
+    } else if !gnorm.is_finite() {
+        Some(format!("non-finite gradient norm {gnorm}"))
+    } else if gnorm > cfg.max_grad_norm {
+        Some(format!(
+            "gradient norm {gnorm:.3e} exceeds max_grad_norm {:.3e}",
+            cfg.max_grad_norm
+        ))
+    } else if joint.abs() > cfg.max_grad_norm {
+        Some(format!(
+            "loss magnitude {:.3e} exceeds max_grad_norm {:.3e}",
+            joint.abs(),
+            cfg.max_grad_norm
+        ))
+    } else {
+        None
+    }
+}
+
 /// Every parameter finite? Guards the rollback target: a state that
 /// already went non-finite (finite-but-huge gradients can overflow the
 /// Adam update) must never become a snapshot or a checkpoint.
-fn model_is_finite(model: &TcssModel) -> bool {
+pub(crate) fn model_is_finite(model: &TcssModel) -> bool {
     model.u1.as_slice().iter().all(|v| v.is_finite())
         && model.u2.as_slice().iter().all(|v| v.is_finite())
         && model.u3.as_slice().iter().all(|v| v.is_finite())

@@ -1,0 +1,150 @@
+//! Worker-loss recovery: the coordinator survives the death of any single
+//! worker, resumes from its last checkpoint, and converges to the exact
+//! same bits as an uninterrupted run.
+//!
+//! Companion to `tests/dist_parity.rs` (the no-failure contract) and
+//! `tests/fault_injection.rs` (in-process crash/corruption faults).
+
+use tcss_core::dist::DistConfig;
+use tcss_core::{
+    DistError, FaultPlan, InitMethod, LossStrategy, TcssConfig, TcssModel, TcssTrainer, TrainError,
+};
+use tcss_sparse::SparseTensor3;
+
+fn worker_program() -> &'static str {
+    env!("CARGO_BIN_EXE_tcss-dist-worker")
+}
+
+fn model_bits(m: &TcssModel) -> Vec<u64> {
+    m.u1.as_slice()
+        .iter()
+        .chain(m.u2.as_slice())
+        .chain(m.u3.as_slice())
+        .chain(&m.h)
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+fn fixture(workers: Option<usize>, checkpoint_dir: Option<std::path::PathBuf>) -> TcssTrainer {
+    let dims = (8, 7, 5);
+    let entries = [
+        (0, 0, 0, 1.0),
+        (1, 2, 3, 1.0),
+        (7, 6, 4, 1.0),
+        (3, 3, 1, 1.0),
+        (2, 1, 0, 1.0),
+        (5, 4, 2, 1.0),
+        (6, 0, 3, 1.0),
+        (4, 5, 1, 1.0),
+        (0, 6, 2, 1.0),
+        (7, 1, 4, 1.0),
+    ];
+    let tensor = SparseTensor3::from_entries(dims, entries).expect("entries in bounds");
+    let cfg = TcssConfig {
+        rank: 3,
+        seed: 7,
+        loss: LossStrategy::WholeDataRewritten,
+        lambda: 0.0,
+        hausdorff: tcss_core::HausdorffVariant::None,
+        init: InitMethod::Random,
+        epochs: 6,
+        checkpoint_every: 2,
+        num_threads: Some(1),
+        workers,
+        checkpoint_dir,
+        ..TcssConfig::default()
+    };
+    TcssTrainer::from_tensor(tensor, cfg)
+}
+
+fn dist_cfg(workers: usize) -> DistConfig {
+    DistConfig::new(workers, worker_program())
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcss_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kill each worker of a 2-worker fleet in turn, mid-run: the coordinator
+/// must detect the loss, respawn, resume from the on-disk checkpoint, and
+/// land on bits identical to both the uninterrupted distributed run and
+/// the plain in-process run.
+#[test]
+fn losing_any_single_worker_is_survivable_and_bit_exact() {
+    let want = model_bits(
+        &fixture(None, None)
+            .train_with_checkpoints(|_| {})
+            .expect("in-process run trains")
+            .model,
+    );
+    let undisturbed = fixture(Some(2), None)
+        .train_distributed(&dist_cfg(2), |_| {})
+        .expect("uninterrupted distributed run trains");
+    assert_eq!(model_bits(&undisturbed.report.model), want);
+
+    for victim in 0..2usize {
+        let dir = tempdir(&format!("dist_kill_w{victim}"));
+        let trainer = fixture(Some(2), Some(dir.clone()));
+        // Epoch 4: past the epoch-2 checkpoint, so recovery must actually
+        // rewind through the on-disk state, not just restart.
+        let plan = FaultPlan::kill_worker_at(4, victim);
+        let report = trainer
+            .train_distributed_with_faults(&dist_cfg(2), &plan, |_| {})
+            .unwrap_or_else(|e| panic!("run with worker {victim} killed failed: {e}"));
+        assert!(
+            report.respawns >= 1,
+            "killing worker {victim} must cost at least one respawn"
+        );
+        assert_eq!(
+            model_bits(&report.report.model),
+            want,
+            "recovery after losing worker {victim} diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Without a checkpoint dir the coordinator still recovers, from its
+/// in-memory rollback snapshot.
+#[test]
+fn recovery_works_without_on_disk_checkpoints() {
+    let want = model_bits(
+        &fixture(None, None)
+            .train_with_checkpoints(|_| {})
+            .expect("in-process run trains")
+            .model,
+    );
+    let plan = FaultPlan::kill_worker_at(3, 1);
+    let report = fixture(Some(2), None)
+        .train_distributed_with_faults(&dist_cfg(2), &plan, |_| {})
+        .expect("checkpoint-less recovery trains");
+    assert!(report.respawns >= 1);
+    assert_eq!(model_bits(&report.report.model), want);
+}
+
+/// A worker that dies on *every* respawn exhausts the budget and surfaces
+/// as the typed `RespawnBudgetExhausted` error instead of looping forever.
+#[test]
+fn respawn_budget_exhaustion_is_typed() {
+    let trainer = fixture(Some(2), None);
+    // Point respawns at a program that exits immediately: the first loss is
+    // real (fault-injected), every replacement dies before connecting.
+    let dist = DistConfig {
+        max_respawns: 0,
+        ..dist_cfg(2)
+    };
+    let plan = FaultPlan::kill_worker_at(2, 0);
+    let err = trainer
+        .train_distributed_with_faults(&dist, &plan, |_| {})
+        .expect_err("a zero respawn budget must fail the run");
+    match err {
+        TrainError::Dist(DistError::RespawnBudgetExhausted { worker, epoch, .. }) => {
+            assert_eq!(worker, 0);
+            assert_eq!(epoch, 2);
+        }
+        other => panic!("expected RespawnBudgetExhausted, got: {other}"),
+    }
+}

@@ -46,8 +46,8 @@ pub use eigen::{jacobi_eigen, top_r_eigenvectors, DenseSymOp, SymOp};
 pub use kernels::{LANES, LANES_F32};
 pub use matrix::Matrix;
 pub use parallel::{
-    fold_chunks, map_chunks, map_chunks_with, num_threads, set_num_threads, PoolGuard,
-    WorkspacePool,
+    chunk_count, chunk_ranges, fold_chunks, map_chunks, map_chunks_with, num_threads,
+    set_num_threads, PoolGuard, WorkspacePool,
 };
 pub use qr::{orthonormalize, qr_thin};
 pub use solve::solve_linear_system;

@@ -71,11 +71,21 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Number of chunks in the fixed grid for `n_items` / `chunk_size`.
+///
+/// This is *the* grid arity every consumer of the deterministic-reduction
+/// contract agrees on — the distributed trainer shards this very grid
+/// across worker processes, so coordinator and workers must derive the
+/// same count from the same inputs.
+pub fn chunk_count(n_items: usize, chunk_size: usize) -> usize {
+    n_items.div_ceil(chunk_size.max(1))
+}
+
 /// The fixed chunk grid for `n_items` items: ascending, disjoint,
 /// covering ranges of length `chunk_size` (the last may be shorter).
 pub fn chunk_ranges(n_items: usize, chunk_size: usize) -> impl Iterator<Item = Range<usize>> {
     let chunk_size = chunk_size.max(1);
-    let n_chunks = n_items.div_ceil(chunk_size);
+    let n_chunks = chunk_count(n_items, chunk_size);
     (0..n_chunks).map(move |c| {
         let lo = c * chunk_size;
         lo..(lo + chunk_size).min(n_items)
@@ -120,7 +130,7 @@ where
     F: Fn(&mut W, Range<usize>) -> T + Sync,
 {
     let chunk_size = chunk_size.max(1);
-    let n_chunks = n_items.div_ceil(chunk_size);
+    let n_chunks = chunk_count(n_items, chunk_size);
     let workers = num_threads().min(n_chunks);
     if workers <= 1 {
         let mut ws = make_ws();

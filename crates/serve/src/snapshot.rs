@@ -245,21 +245,12 @@ impl From<std::io::Error> for SnapError {
 }
 
 // ---------------------------------------------------------------------
-// Integrity primitives (the checkpoint layer's, re-stated over bytes —
-// tcss-core keeps its copies crate-private).
+// Integrity primitives. The digest is the workspace-canonical
+// `tcss_core::digest::fnv1a64` (the `snapshot_format.rs` test suite keeps
+// its own deliberately independent restatement as a cross-check).
 // ---------------------------------------------------------------------
 
-/// 64-bit FNV-1a. Not cryptographic — it guards against truncation and
-/// accidental corruption, and any single-byte change alters the digest
-/// (each round `h ← (h ⊕ b)·p` is a bijection of `h` for fixed `b`).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+use tcss_core::digest::fnv1a64;
 
 /// Atomic byte write: temp file in the same directory, fsync, rename over
 /// the target, fsync the directory. A crash leaves the old file or the new

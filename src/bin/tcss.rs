@@ -34,7 +34,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   tcss generate  --preset <gowalla|yelp|foursquare|gmu-5k> --out <stem> [--no-preprocess]
-  tcss train     --data <stem> --model <file> [--epochs N] [--rank R] [--lambda L] [--seed S]
+  tcss train     (--data <stem> | --synth <preset>) [--model <file>]
+                 [--epochs N] [--rank R] [--lambda L] [--seed S]
+                 [--loss whole|naive|negsamp] [--init spectral|random|onehot]
+                 [--granularity month|week|hour] [--threads T]
+                 [--workers N] [--worker-threads T]
                  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume] [--lenient]
   tcss recommend --data <stem> --model <file> --user U --month M [--top N]
   tcss recommend-batch --data <stem> --model <file> --requests <U:M,U:M,...> [--top N]
@@ -70,6 +74,16 @@ serving:
   each socket read (default 10000) and --retries retries
   Overloaded/transient failures with deterministic capped exponential
   backoff (default 0).
+
+distributed training:
+  tcss train --workers N shards each epoch across N worker processes
+  (this executable re-invoked with a hidden dist-worker subcommand over a
+  Unix socket); the trained model is bit-identical to the single-process
+  run at any worker count. --worker-threads sets threads per worker
+  (default 1). Checkpoints stay coordinator-owned, so the run survives
+  the loss of any single worker. The whole flag combination is validated
+  up front — e.g. --workers 0, or a --checkpoint-every beyond --epochs
+  when workers are set, is a typed error before anything spawns.
 
 fault tolerance:
   --checkpoint-dir <dir>  write a rolling checkpoint to <dir>/checkpoint.tcssck
@@ -107,6 +121,9 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("export-snapshot") => cmd_export_snapshot(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        // Hidden: the worker role of `train --workers N`. Spawned by the
+        // coordinator, never by hand.
+        Some("dist-worker") => cmd_dist_worker(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
             Ok(())
@@ -139,14 +156,18 @@ fn load_with_mode(stem: &str, lenient: bool) -> Result<Dataset, String> {
     }
 }
 
+fn parse_preset(name: &str) -> Result<SynthPreset, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "gowalla" => Ok(SynthPreset::Gowalla),
+        "yelp" => Ok(SynthPreset::Yelp),
+        "foursquare" => Ok(SynthPreset::Foursquare),
+        "gmu-5k" | "gmu5k" | "gmu" => Ok(SynthPreset::Gmu5k),
+        other => Err(format!("unknown preset {other:?}")),
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let preset = match req(args, "--preset")?.to_ascii_lowercase().as_str() {
-        "gowalla" => SynthPreset::Gowalla,
-        "yelp" => SynthPreset::Yelp,
-        "foursquare" => SynthPreset::Foursquare,
-        "gmu-5k" | "gmu5k" | "gmu" => SynthPreset::Gmu5k,
-        other => return Err(format!("unknown preset {other:?}")),
-    };
+    let preset = parse_preset(req(args, "--preset")?)?;
     let out = PathBuf::from(req(args, "--out")?);
     if let Some(dir) = out.parent() {
         if !dir.as_os_str().is_empty() {
@@ -180,6 +201,28 @@ fn training_config(args: &[String]) -> Result<TcssConfig, String> {
     if let Some(v) = opt(args, "--seed") {
         cfg.seed = parse(v, "--seed")?;
     }
+    if let Some(v) = opt(args, "--loss") {
+        cfg.loss = match v {
+            "whole" => LossStrategy::WholeDataRewritten,
+            "naive" => LossStrategy::WholeDataNaive,
+            "negsamp" => LossStrategy::NegativeSampling,
+            other => return Err(format!("unknown loss strategy {other:?}")),
+        };
+    }
+    if let Some(v) = opt(args, "--init") {
+        cfg.init = match v {
+            "spectral" => InitMethod::Spectral,
+            "random" => InitMethod::Random,
+            "onehot" => InitMethod::OneHot,
+            other => return Err(format!("unknown init method {other:?}")),
+        };
+    }
+    if let Some(v) = opt(args, "--threads") {
+        cfg.num_threads = Some(parse(v, "--threads")?);
+    }
+    if let Some(v) = opt(args, "--workers") {
+        cfg.workers = Some(parse(v, "--workers")?);
+    }
     if let Some(v) = opt(args, "--checkpoint-dir") {
         cfg.checkpoint_dir = Some(PathBuf::from(v));
     }
@@ -193,26 +236,71 @@ fn training_config(args: &[String]) -> Result<TcssConfig, String> {
             .ok_or("--resume requires --checkpoint-dir")?;
         cfg.resume_from = Some(dir.join(CHECKPOINT_FILE));
     }
+    // One cross-field validation pass owns every flag-interaction rule
+    // (e.g. --workers 0, or --checkpoint-every beyond --epochs when
+    // workers are set) — a bad combination is a typed error before any
+    // data is loaded or any process spawned.
+    cfg.validate()
+        .map_err(|e| format!("invalid configuration: {e}"))?;
     Ok(cfg)
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let data = load_with_mode(req(args, "--data")?, has(args, "--lenient"))?;
-    let model_path = PathBuf::from(req(args, "--model")?);
     let cfg = training_config(args)?;
+    let granularity = match opt(args, "--granularity") {
+        Some("month") | None => Granularity::Month,
+        Some("week") => Granularity::Week,
+        Some("hour") => Granularity::Hour,
+        Some(other) => return Err(format!("unknown granularity {other:?}")),
+    };
+    let data = match (opt(args, "--data"), opt(args, "--synth")) {
+        (Some(stem), None) => load_with_mode(stem, has(args, "--lenient"))?,
+        (None, Some(preset)) => parse_preset(preset)?.generate(),
+        (Some(_), Some(_)) => return Err("--data and --synth are mutually exclusive".into()),
+        (None, None) => return Err("train needs --data <stem> or --synth <preset>".into()),
+    };
+    let model_path = opt(args, "--model").map(PathBuf::from);
     let epochs = cfg.epochs;
     let lambda = cfg.lambda;
-    println!("{}", data.summary(Granularity::Month));
-    let trainer = TcssTrainer::new(&data, &data.checkins, Granularity::Month, cfg);
+    let workers = cfg.workers;
+    println!("{}", data.summary(granularity));
+    let trainer = TcssTrainer::new(&data, &data.checkins, granularity, cfg);
     let t0 = std::time::Instant::now();
-    let report = trainer
-        .train_with_checkpoints(|ctx| {
-            let loss = lambda * ctx.l1 + ctx.l2;
-            if ctx.epoch == 0 || (ctx.epoch + 1) % 50 == 0 || ctx.epoch + 1 == epochs {
-                println!("epoch {:>4}: loss {loss:.2}", ctx.epoch + 1);
-            }
-        })
-        .map_err(|e| format!("training failed: {e}"))?;
+    let on_epoch = |ctx: tcss::core::TrainContext| {
+        let loss = lambda * ctx.l1 + ctx.l2;
+        if ctx.epoch == 0 || (ctx.epoch + 1).is_multiple_of(50) || ctx.epoch + 1 == epochs {
+            println!("epoch {:>4}: loss {loss:.2}", ctx.epoch + 1);
+        }
+    };
+    let report = match workers {
+        None => trainer
+            .train_with_checkpoints(on_epoch)
+            .map_err(|e| format!("training failed: {e}"))?,
+        Some(n) => {
+            // The workers are this same executable, re-invoked with the
+            // hidden dist-worker subcommand.
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate own executable: {e}"))?;
+            let worker_threads = match opt(args, "--worker-threads") {
+                Some(v) => Some(parse(v, "--worker-threads")?),
+                None => None,
+            };
+            let dist = tcss::core::dist::DistConfig {
+                worker_threads,
+                worker_args: vec!["dist-worker".into()],
+                ..tcss::core::dist::DistConfig::new(n, exe)
+            };
+            let dr = trainer
+                .train_distributed(&dist, on_epoch)
+                .map_err(|e| format!("distributed training failed: {e}"))?;
+            println!(
+                "distributed across {} worker process(es): {} respawn(s), \
+                 {} B sent / {} B received over {} epoch(s)",
+                dr.workers, dr.respawns, dr.bytes_sent, dr.bytes_received, dr.epochs_dispatched
+            );
+            dr.report
+        }
+    };
     if report.start_epoch > 0 {
         println!("resumed from checkpoint at epoch {}", report.start_epoch);
     }
@@ -228,9 +316,20 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         model.num_params(),
         t0.elapsed().as_secs_f64()
     );
-    save_model(&model, &model_path).map_err(|e| format!("saving model: {e}"))?;
-    println!("model written to {}", model_path.display());
+    match model_path {
+        Some(path) => {
+            save_model(&model, &path).map_err(|e| format!("saving model: {e}"))?;
+            println!("model written to {}", path.display());
+        }
+        None => println!("no --model given; trained model discarded"),
+    }
     Ok(())
+}
+
+fn cmd_dist_worker(args: &[String]) -> Result<(), String> {
+    let socket = PathBuf::from(req(args, "--socket")?);
+    let worker: u32 = parse(req(args, "--worker")?, "--worker")?;
+    tcss::core::dist::run_worker(&socket, worker).map_err(|e| format!("dist-worker {worker}: {e}"))
 }
 
 fn load_model_checked(path: &str, data: &Dataset) -> Result<TcssModel, String> {
