@@ -13,7 +13,7 @@
 
 use super::wire::{
     apply_deltas, decode_hello, deltas_epoch, encode_frame, encode_setup, encode_shutdown,
-    encode_step, tag_of, FrameDecoder, Setup, WireLoss, TAG_DELTAS, TAG_HELLO,
+    encode_step_into, tag_of, FrameBuf, FrameDecoder, Setup, WireLoss, TAG_DELTAS, TAG_HELLO,
 };
 use super::{read_frame, DistError};
 use crate::checkpoint::{config_fingerprint, load_checkpoint, save_checkpoint, Checkpoint};
@@ -57,6 +57,18 @@ pub struct DistConfig {
     /// are allowed before the run aborts with
     /// [`DistError::RespawnBudgetExhausted`].
     pub max_respawns: u32,
+    /// Owner-computes tail sharding ([`super::sharded`]): workers keep
+    /// resident Adam state for contiguous factor-row ranges and apply the
+    /// optimizer themselves; the coordinator's serial epoch tail drops to
+    /// a gather-and-splice. Bitwise identical to the plain protocol at any
+    /// worker count. `false` runs the stateless-worker protocol.
+    pub tail_shard: bool,
+    /// With `tail_shard`: compute the coordinator-retained Gram +
+    /// Hausdorff tail concurrently with worker chunk evaluation instead of
+    /// serially after the exchange relay. A pure latency knob — the tail
+    /// depends only on the epoch's broadcast model, so both settings
+    /// produce identical bits.
+    pub overlap: bool,
 }
 
 impl DistConfig {
@@ -69,6 +81,8 @@ impl DistConfig {
             worker_args: Vec::new(),
             socket_dir: None,
             max_respawns: 3,
+            tail_shard: false,
+            overlap: true,
         }
     }
 }
@@ -96,25 +110,41 @@ pub struct DistReport {
 }
 
 /// One connected worker.
-struct WorkerSlot {
-    child: Child,
-    stream: UnixStream,
-    dec: FrameDecoder,
-    chunk_start: usize,
-    chunk_end: usize,
+pub(super) struct WorkerSlot {
+    pub(super) child: Child,
+    pub(super) stream: UnixStream,
+    pub(super) dec: FrameDecoder,
+    pub(super) chunk_start: usize,
+    pub(super) chunk_end: usize,
     /// `U¹` rows this worker's chunk block can read — the entry list is
     /// sorted by `(i, j, k)`, so a contiguous chunk block touches a
     /// contiguous row window, and each Step ships only that window
     /// (everything, for negative sampling: its negatives hit any row).
-    u1_lo: usize,
-    u1_hi: usize,
+    pub(super) u1_lo: usize,
+    pub(super) u1_hi: usize,
 }
 
 /// Owns the listening socket path; removes the file on drop so aborted
 /// runs don't litter the temp dir.
-struct SocketGuard {
-    path: PathBuf,
-    listener: UnixListener,
+pub(super) struct SocketGuard {
+    pub(super) path: PathBuf,
+    pub(super) listener: UnixListener,
+}
+
+/// Bind a fresh per-run coordinator socket in the configured directory.
+pub(super) fn bind_socket(dist: &DistConfig) -> Result<SocketGuard, DistError> {
+    let dir = dist.socket_dir.clone().unwrap_or_else(std::env::temp_dir);
+    let sock_path = dir.join(format!(
+        "tcss-dist-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&sock_path);
+    let listener = UnixListener::bind(&sock_path).map_err(DistError::Io)?;
+    Ok(SocketGuard {
+        path: sock_path,
+        listener,
+    })
 }
 
 impl Drop for SocketGuard {
@@ -163,6 +193,9 @@ impl TcssTrainer {
                 "dist.workers must be at least 1".into(),
             ));
         }
+        if dist.tail_shard {
+            return super::sharded::train_tail_sharded(self, dist, faults, &mut on_epoch);
+        }
         let fingerprint = config_fingerprint(cfg);
 
         // --- Shard the global chunk grid into contiguous blocks ----------
@@ -174,18 +207,7 @@ impl TcssTrainer {
             .collect();
 
         // --- Socket + fleet ----------------------------------------------
-        let dir = dist.socket_dir.clone().unwrap_or_else(std::env::temp_dir);
-        let sock_path = dir.join(format!(
-            "tcss-dist-{}-{}.sock",
-            std::process::id(),
-            SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = std::fs::remove_file(&sock_path);
-        let listener = UnixListener::bind(&sock_path).map_err(DistError::Io)?;
-        let guard = SocketGuard {
-            path: sock_path,
-            listener,
-        };
+        let guard = bind_socket(dist)?;
 
         let mut slots: Vec<WorkerSlot> = Vec::with_capacity(w);
         for (worker, &(chunk_start, chunk_end)) in blocks.iter().enumerate() {
@@ -207,6 +229,8 @@ impl TcssTrainer {
 
         let ws = TrainWorkspace::new();
         let mut grads = Grads::zeros(&model);
+        let mut tail = Grads::zeros(&model);
+        let mut step_buf = FrameBuf::new();
         let mut epoch = start_epoch;
         let mut respawns = 0u32;
         let mut bytes_sent = 0u64;
@@ -228,11 +252,14 @@ impl TcssTrainer {
 
             grads.set_zero();
             epochs_dispatched += 1;
+            let epoch_sent0 = bytes_sent;
+            let epoch_recv0 = bytes_received;
             let outcome = dispatch_epoch(
                 &mut slots,
                 epoch as u64,
                 &model,
                 &mut grads,
+                &mut step_buf,
                 &mut bytes_sent,
                 &mut bytes_received,
                 &mut worker_busy_ns,
@@ -286,14 +313,17 @@ impl TcssTrainer {
             };
 
             // --- Coordinator-local tail: Gram term + Hausdorff head ------
-            let l1 = self.epoch_tail(&model, epoch, &ws, &mut grads, &mut l2);
+            let l1 = self.epoch_tail_into(&model, epoch, &ws, &mut tail, &mut l2);
+            if self.tail_active(epoch) {
+                grads.add_scaled(1.0, &tail);
+            }
             if faults.take_poison(epoch) {
                 poison(&mut grads);
             }
 
             // --- Watchdog / step / checkpoint: line-for-line the
             // in-process loop -------------------------------------------
-            if let Some(detail) = divergence_trouble(cfg, l2, l1, &grads) {
+            if let Some(detail) = divergence_trouble(cfg, l2, l1, grads.norm()) {
                 retries += 1;
                 if retries > cfg.max_retries {
                     self.shutdown_fleet(&mut slots);
@@ -317,7 +347,13 @@ impl TcssTrainer {
                 cfg.learning_rate * lr_scale,
                 cfg.weight_decay,
             );
-            on_epoch(TrainContext { epoch, l2, l1 });
+            on_epoch(TrainContext {
+                epoch,
+                l2,
+                l1,
+                bytes_sent: bytes_sent - epoch_sent0,
+                bytes_received: bytes_received - epoch_recv0,
+            });
             epoch += 1;
 
             let due = epoch.is_multiple_of(cfg.checkpoint_every) || epoch == cfg.epochs;
@@ -359,7 +395,7 @@ impl TcssTrainer {
 
     /// Spawn one worker process, accept its connection, verify its Hello,
     /// and send its Setup.
-    fn spawn_worker(
+    pub(super) fn spawn_worker(
         &self,
         dist: &DistConfig,
         guard: &SocketGuard,
@@ -435,6 +471,9 @@ impl TcssTrainer {
             chunk_start,
             chunk_end,
             threads: dist.worker_threads.unwrap_or(1).max(1),
+            n_workers: dist.workers,
+            tail_shard: dist.tail_shard,
+            weight_decay: cfg.weight_decay,
             entries: self.tensor.entries().to_vec(),
         };
         stream.write_all(&encode_frame(&encode_setup(&setup)))?;
@@ -460,7 +499,7 @@ impl TcssTrainer {
 
     /// Best-effort fleet teardown: Shutdown frame, then reap. Workers also
     /// exit on EOF, so a failed write still converges.
-    fn shutdown_fleet(&self, slots: &mut Vec<WorkerSlot>) {
+    pub(super) fn shutdown_fleet(&self, slots: &mut Vec<WorkerSlot>) {
         for slot in slots.iter_mut() {
             let _ = slot.stream.write_all(&encode_frame(&encode_shutdown()));
             let _ = slot.stream.shutdown(std::net::Shutdown::Both);
@@ -481,22 +520,26 @@ impl TcssTrainer {
 /// received a Step gets its reply read (and discarded on epoch mismatch)
 /// before the next broadcast, so no stale frames can deadlock a later
 /// broadcast against a worker blocked mid-write.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_epoch(
     slots: &mut [WorkerSlot],
     epoch: u64,
     model: &TcssModel,
     grads: &mut Grads,
+    step_buf: &mut FrameBuf,
     bytes_sent: &mut u64,
     bytes_received: &mut u64,
     worker_busy_ns: &mut [u64],
 ) -> Result<EpochOutcome, DistError> {
     let mut lost: Option<(usize, String)> = None;
 
-    // Broadcast, each worker getting its own U¹ row window.
+    // Broadcast, each worker getting its own U¹ row window, the frame
+    // encoded into a buffer reused across workers and epochs.
     let mut stepped = vec![false; slots.len()];
     for (w, slot) in slots.iter_mut().enumerate() {
-        let step = encode_frame(&encode_step(epoch, model, slot.u1_lo, slot.u1_hi));
-        match slot.stream.write_all(&step) {
+        encode_step_into(step_buf.payload(), epoch, model, slot.u1_lo, slot.u1_hi);
+        let step = step_buf.finish();
+        match slot.stream.write_all(step) {
             Ok(()) => {
                 stepped[w] = true;
                 *bytes_sent += step.len() as u64;

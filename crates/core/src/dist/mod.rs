@@ -48,6 +48,18 @@
 //! produce bit-identical models to the in-process trainer —
 //! `tests/dist_parity.rs` proptests this end to end.
 //!
+//! # Tail sharding
+//!
+//! With [`DistConfig::tail_shard`] the coordinator's serial epoch tail
+//! (merge, norm, Adam over the whole model) moves to the workers:
+//! each owns a contiguous row range of every factor, keeps Adam state
+//! resident, exchanges un-merged row deltas with its peers through a
+//! coordinator relay, and applies the optimizer itself — the coordinator
+//! drops to folds, the dense core `h`, and a gather-and-splice. The
+//! parity contract extends because any decomposition that preserves each
+//! gradient *element*'s ascending-chunk add order is bitwise identical;
+//! see [`sharded`] and DESIGN.md §5j.
+//!
 //! # Failure model
 //!
 //! Workers are stateless, so recovery is replay: if a worker dies
@@ -61,6 +73,7 @@
 //! [`crate::fault::FaultPlan`] drives this path in `tests/dist_fault.rs`.
 
 pub mod coordinator;
+pub mod sharded;
 pub mod wire;
 pub mod worker;
 
@@ -134,6 +147,62 @@ impl From<WireError> for DistError {
     fn from(e: WireError) -> Self {
         DistError::Wire(e)
     }
+}
+
+/// Monotonic on-CPU time of the calling process, in nanoseconds.
+///
+/// Workers report their per-step `busy_ns` with this clock, and the
+/// critical-path accounting in `bench_distributed` subtracts the sum
+/// from the wall clock to recover the coordinator-serial share. A wall
+/// clock would charge involuntary preemption to the worker: on an
+/// oversubscribed host `Σ busy` then saturates the wall and the
+/// coordinator share clamps to zero, understating the serial tail.
+///
+/// On Linux/x86-64 this is `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)`
+/// via a raw syscall (the workspace deliberately has no libc
+/// dependency). Process scope matters: a multi-threaded worker evaluates
+/// chunks on scoped pool threads, whose CPU a thread-scoped clock would
+/// misattribute to the coordinator residual — and since those threads
+/// only live inside the eval call, blocking waits still accrue ~zero.
+/// The clock folds running threads' unexpired time slices into the
+/// result, so millisecond spans measure exactly — unlike
+/// `/proc/*/schedstat` or `utime`, which only advance on scheduler
+/// ticks and can report near-zero for any span shorter than one.
+/// Elsewhere it falls back to a process-wide wall clock.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) fn busy_now_ns() -> u64 {
+    const SYS_CLOCK_GETTIME: i64 = 228;
+    const CLOCK_PROCESS_CPUTIME_ID: i64 = 2;
+    let mut ts = [0i64; 2]; // timespec { tv_sec, tv_nsec }
+    let ret: i64;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => ret,
+            in("rdi") CLOCK_PROCESS_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _, // syscall clobbers rcx (return RIP)
+            lateout("r11") _, // and r11 (saved RFLAGS)
+            options(nostack),
+        );
+    }
+    if ret == 0 {
+        (ts[0] as u64) * 1_000_000_000 + ts[1] as u64
+    } else {
+        fallback_wall_ns()
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub(crate) fn busy_now_ns() -> u64 {
+    fallback_wall_ns()
+}
+
+fn fallback_wall_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// Read whole frames from a blocking stream through a push-based decoder.

@@ -3,13 +3,13 @@
 //!
 //! Same hand-rolled idiom as `tcss_serve::net::frame` (no async runtime,
 //! no serialization crates), with one addition: every frame carries a
-//! trailing [`crate::digest::fnv1a64`] checksum of its payload, so a torn
-//! or corrupted delta exchange surfaces as a typed
+//! trailing [`frame_checksum`] (word-folded FNV-1a) of its payload, so a
+//! torn or corrupted delta exchange surfaces as a typed
 //! [`WireError::ChecksumMismatch`] instead of silently perturbing
 //! training. Wire format of one frame:
 //!
 //! ```text
-//! [u32 LE payload length][payload bytes][u64 LE fnv1a64(payload)]
+//! [u32 LE payload length][payload bytes][u64 LE frame_checksum(payload)]
 //! ```
 //!
 //! All multi-byte integers and floats are little-endian; `f64`s travel as
@@ -23,7 +23,6 @@
 //! poisoned: the stream cannot be resynchronized after a framing fault,
 //! so further use keeps failing instead of mis-parsing.
 
-use crate::digest::fnv1a64;
 use crate::loss::Grads;
 use crate::model::TcssModel;
 use crate::sparse_grads::SparseGrads;
@@ -46,6 +45,36 @@ pub(crate) const TAG_SETUP: u8 = 2;
 pub(crate) const TAG_STEP: u8 = 3;
 pub(crate) const TAG_DELTAS: u8 = 4;
 pub(crate) const TAG_SHUTDOWN: u8 = 5;
+/// Tail-sharded protocol (see [`super::sharded`]): coordinator → worker
+/// resident-state install (initial, respawn, rollback).
+pub(crate) const TAG_ADOPT: u8 = 6;
+/// Worker → owner (relayed verbatim): un-merged per-chunk row deltas for
+/// rows the destination owns.
+pub(crate) const TAG_EXCH: u8 = 7;
+/// Worker → coordinator: per-chunk losses and `h` deltas (the coordinator
+/// owns `h` and the loss fold).
+pub(crate) const TAG_CHUNK_STATS: u8 = 8;
+/// Coordinator → worker: Gram + Hausdorff tail gradients for the rows the
+/// worker owns (absent when the tail is inactive this epoch).
+pub(crate) const TAG_TAIL_ROWS: u8 = 9;
+/// Worker → coordinator: per-owned-row gradient self-dots for the global
+/// norm fold.
+pub(crate) const TAG_NORM_PART: u8 = 10;
+/// Coordinator → worker: the watchdog passed; apply Adam with this
+/// effective learning rate.
+pub(crate) const TAG_VERDICT: u8 = 11;
+/// Worker → coordinator: Adam-updated factor rows for the owned ranges.
+pub(crate) const TAG_UPD_ROWS: u8 = 12;
+/// Coordinator → worker: ship your resident Adam moments (checkpoint
+/// assembly).
+pub(crate) const TAG_SNAP_REQ: u8 = 13;
+/// Worker → coordinator: resident `m`/`v` rows for the owned ranges.
+pub(crate) const TAG_SNAP_ROWS: u8 = 14;
+/// Coordinator → worker (tail-sharded only): a Step with the worker's
+/// owned `U¹` rows punched out of the window — the receiver holds those
+/// rows resident (bitwise equal to the coordinator's copy by the
+/// UpdatedRows splice invariant) and fills them back in during decode.
+pub(crate) const TAG_STEP_OWNED: u8 = 15;
 
 /// Typed decode failures. Every malformed input maps to exactly one of
 /// these — the codec never panics and the decoder never blocks.
@@ -99,13 +128,226 @@ impl std::error::Error for WireError {}
 // Frame encoding / decoding
 // ---------------------------------------------------------------------
 
+/// The frame-trailer checksum: hardware CRC32C where the CPU has it,
+/// word-folded FNV-1a elsewhere.
+///
+/// The training transport moves megabytes of delta floats per epoch, and
+/// the checksum runs on both the encode and the verify side of every
+/// frame — at 4 tail-sharded workers that is ~2 MB/epoch through this
+/// function on the coordinator alone, a measurable slice of the
+/// critical path. Two interleaved `crc32q` streams break the serial
+/// xor-multiply dependency chain of FNV (≈3 cycles per 8 bytes) into
+/// two independent 3-cycle chains (≈3 cycles per 16 bytes), roughly
+/// doubling throughput on top of the cheaper op. The streams are seeded
+/// differently and packed into the u64 trailer, so any single flipped
+/// byte lands in exactly one stream and changes its 32 bits
+/// (`tests/dist_parity.rs` proptests corruption detection over random
+/// single-byte flips).
+///
+/// Frames are process-local, same-host, and never persisted: both ends
+/// of a socket resolve the same CPU feature, so the two
+/// implementations never need to agree with each other, and neither
+/// owes compatibility to the on-disk digests, which stay on `fnv1a64`.
+pub(crate) fn frame_checksum(data: &[u8]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static HAS_SSE42: OnceLock<bool> = OnceLock::new();
+        if *HAS_SSE42.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2")) {
+            // SAFETY: guarded by the runtime feature check above.
+            return unsafe { crc32c_checksum(data) };
+        }
+    }
+    fnv_checksum(data)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_checksum(data: &[u8]) -> u64 {
+    use core::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut a: u64 = 0xffff_ffff; // even 8-byte words
+    let mut b: u64 = 0x5a5a_5a5a; // odd 8-byte words
+    let mut pairs = data.chunks_exact(16);
+    for p in &mut pairs {
+        a = _mm_crc32_u64(a, u64::from_le_bytes(p[..8].try_into().unwrap()));
+        b = _mm_crc32_u64(b, u64::from_le_bytes(p[8..].try_into().unwrap()));
+    }
+    let rem = pairs.remainder();
+    let mut words = rem.chunks_exact(8);
+    for w in &mut words {
+        a = _mm_crc32_u64(a, u64::from_le_bytes(w.try_into().unwrap()));
+    }
+    for &byte in words.remainder() {
+        a = u64::from(_mm_crc32_u8(a as u32, byte));
+    }
+    (a << 32) | b
+}
+
+/// Portable fallback: FNV-1a folded over 8-byte little-endian words
+/// (plus a byte-at-a-time tail), ~7× the byte-at-a-time
+/// [`crate::digest::fnv1a64`].
+fn fnv_checksum(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut words = data.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("chunks_exact yields 8 bytes"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Encode one frame: length prefix, payload, checksum trailer.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
-    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(&frame_checksum(payload).to_le_bytes());
     out
+}
+
+/// Reusable frame-encode buffer: [`encode_frame`] allocates a fresh `Vec`
+/// per call, which shows up at high epoch rates. A `FrameBuf` keeps one
+/// buffer alive across epochs; messages are encoded **in place** after the
+/// length prefix, then [`FrameBuf::finish`] patches the prefix and appends
+/// the checksum trailer:
+///
+/// ```text
+/// let p = buf.payload();        // cleared, positioned after the prefix
+/// encode_step_into(p, ...);     // append the message
+/// stream.write_all(buf.finish())?;
+/// ```
+#[derive(Debug, Default)]
+pub(crate) struct FrameBuf {
+    buf: Vec<u8>,
+    /// Byte offset of the current (unsealed) frame's header.
+    start: usize,
+}
+
+impl FrameBuf {
+    pub(crate) fn new() -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Start a frame: clear the buffer, reserve the length prefix, and
+    /// hand back the payload sink.
+    pub(crate) fn payload(&mut self) -> &mut Vec<u8> {
+        self.buf.clear();
+        self.start = 0;
+        self.buf.extend_from_slice(&[0u8; HEADER_LEN]);
+        &mut self.buf
+    }
+
+    /// Payload bytes encoded so far (for in-place patching of fields at
+    /// known offsets — patch **before** [`FrameBuf::finish`] so the
+    /// checksum covers the final bytes).
+    pub(crate) fn payload_mut(&mut self) -> &mut [u8] {
+        let at = self.start + HEADER_LEN;
+        &mut self.buf[at..]
+    }
+
+    /// Seal the current frame in place and start another one behind it,
+    /// so several messages accumulate into a single buffer and go out in
+    /// one `write_all` — one syscall (and one receiver wake-up) for a
+    /// whole burst instead of one per frame. The stream is byte-ordered,
+    /// so the receiver's decoder sees exactly the same frame sequence.
+    pub(crate) fn next_payload(&mut self) -> &mut Vec<u8> {
+        self.seal();
+        self.start = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; HEADER_LEN]);
+        &mut self.buf
+    }
+
+    /// Patch the current frame's length prefix and append its checksum.
+    fn seal(&mut self) {
+        let len = self.buf.len() - self.start - HEADER_LEN;
+        debug_assert!(len <= MAX_FRAME_LEN);
+        self.buf[self.start..self.start + HEADER_LEN].copy_from_slice(&(len as u32).to_le_bytes());
+        let sum = frame_checksum(&self.buf[self.start + HEADER_LEN..]);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    /// Seal the current frame and return every frame buffered since
+    /// [`FrameBuf::payload`], ready for one write.
+    pub(crate) fn finish(&mut self) -> &[u8] {
+        self.seal();
+        &self.buf
+    }
+}
+
+/// The payload slice of a raw frame (header + payload + trailer) as
+/// produced by [`read_raw_frame`] — the relay path keeps frames raw so
+/// forwarding is a plain write, with no re-checksumming.
+pub(crate) fn raw_frame_payload(raw: &[u8]) -> &[u8] {
+    &raw[HEADER_LEN..raw.len() - TRAILER_LEN]
+}
+
+/// Whether `buf` starts with one complete frame (header + declared
+/// payload + trailer). Reader threads use this to parse ahead through a
+/// buffered burst without risking a blocking read mid-frame: an
+/// oversized or garbage length simply reports `false` and the next
+/// [`read_raw_frame`] surfaces the typed error.
+pub(crate) fn complete_frame_buffered(buf: &[u8]) -> bool {
+    if buf.len() < HEADER_LEN {
+        return false;
+    }
+    let declared =
+        u32::from_le_bytes(buf[..HEADER_LEN].try_into().expect("4-byte header")) as usize;
+    buf.len().saturating_sub(HEADER_LEN + TRAILER_LEN) >= declared
+}
+
+/// Read one complete raw frame (header + payload + trailer) from a
+/// blocking stream with `read_exact`, verifying the checksum. A clean EOF
+/// between frames is `Ok(None)`; EOF mid-frame or a corrupt frame is a
+/// typed error. Used by the coordinator's per-worker reader threads,
+/// which need the raw bytes to relay Exch frames verbatim.
+pub(crate) fn read_raw_frame(
+    stream: &mut impl std::io::Read,
+) -> Result<Option<Vec<u8>>, super::DistError> {
+    let mut hdr = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        let n = stream.read(&mut hdr[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::TruncatedEof { buffered: got }.into());
+        }
+        got += n;
+    }
+    let declared = u32::from_le_bytes(hdr) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(WireError::Oversized {
+            declared,
+            max: MAX_FRAME_LEN,
+        }
+        .into());
+    }
+    let mut raw = vec![0u8; HEADER_LEN + declared + TRAILER_LEN];
+    raw[..HEADER_LEN].copy_from_slice(&hdr);
+    stream
+        .read_exact(&mut raw[HEADER_LEN..])
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                super::DistError::Wire(WireError::TruncatedEof { buffered: 0 })
+            }
+            _ => super::DistError::Io(e),
+        })?;
+    let expected = u64::from_le_bytes(raw[HEADER_LEN + declared..].try_into().unwrap());
+    let got = frame_checksum(&raw[HEADER_LEN..HEADER_LEN + declared]);
+    if got != expected {
+        return Err(WireError::ChecksumMismatch { expected, got }.into());
+    }
+    Ok(Some(raw))
 }
 
 /// Push-based frame decoder. Mirrors `tcss_serve::net::frame::FrameDecoder`
@@ -169,7 +411,7 @@ impl FrameDecoder {
         }
         let payload = &avail[HEADER_LEN..HEADER_LEN + declared];
         let expected = u64::from_le_bytes(avail[HEADER_LEN + declared..total].try_into().unwrap());
-        let got = fnv1a64(payload);
+        let got = frame_checksum(payload);
         if got != expected {
             self.poisoned = true;
             return Err(WireError::ChecksumMismatch { expected, got });
@@ -328,6 +570,15 @@ pub(crate) struct Setup {
     pub chunk_start: usize,
     pub chunk_end: usize,
     pub threads: usize,
+    /// Fleet size — with `tail_shard` this fixes the row-ownership map
+    /// (`sparse_grads::owned_range`) every peer derives locally.
+    pub n_workers: usize,
+    /// Run the owner-computes tail-sharded protocol instead of the plain
+    /// stateless-worker one.
+    pub tail_shard: bool,
+    /// Adam weight decay — tail-sharded workers apply the optimizer
+    /// themselves.
+    pub weight_decay: f64,
     pub entries: Vec<TensorEntry>,
 }
 
@@ -344,6 +595,9 @@ pub(crate) fn encode_setup(s: &Setup) -> Vec<u8> {
     put_u64(&mut p, s.chunk_start as u64);
     put_u64(&mut p, s.chunk_end as u64);
     put_u32(&mut p, s.threads as u32);
+    put_u32(&mut p, s.n_workers as u32);
+    p.push(s.tail_shard as u8);
+    put_f64(&mut p, s.weight_decay);
     put_u64(&mut p, s.entries.len() as u64);
     for e in &s.entries {
         put_u32(&mut p, e.i as u32);
@@ -378,7 +632,13 @@ pub(crate) fn decode_setup(payload: &[u8]) -> Result<Setup, WireError> {
     let chunk_start = r.u64("chunk_start")? as usize;
     let chunk_end = r.u64("chunk_end")? as usize;
     let threads = r.u32("threads")? as usize;
+    let n_workers = r.u32("n_workers")? as usize;
+    let tail_shard = r.u8("tail_shard flag")? != 0;
+    let weight_decay = r.f64("weight_decay")?;
     let n = r.u64("entry count")? as usize;
+    if n_workers == 0 {
+        return Err(WireError::Malformed("setup with zero workers".into()));
+    }
     if chunk_start > chunk_end {
         return Err(WireError::Malformed(format!(
             "chunk block start {chunk_start} exceeds end {chunk_end}"
@@ -408,6 +668,9 @@ pub(crate) fn decode_setup(payload: &[u8]) -> Result<Setup, WireError> {
         chunk_start,
         chunk_end,
         threads,
+        n_workers,
+        tail_shard,
+        weight_decay,
         entries,
     })
 }
@@ -424,24 +687,39 @@ pub(crate) fn decode_setup(payload: &[u8]) -> Result<Setup, WireError> {
 /// sampling reads arbitrary rows, so there the coordinator passes the
 /// full window.) Unsent rows decode as zeros and are never read, keeping
 /// the float stream bit-identical.
+#[cfg(test)]
 pub(crate) fn encode_step(epoch: u64, model: &TcssModel, u1_lo: usize, u1_hi: usize) -> Vec<u8> {
+    let mut p = Vec::new();
+    encode_step_into(&mut p, epoch, model, u1_lo, u1_hi);
+    p
+}
+
+/// [`encode_step`] appending into a caller-owned buffer (a
+/// [`FrameBuf`] payload sink) so the per-epoch broadcast reuses its
+/// allocation across epochs.
+pub(crate) fn encode_step_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    model: &TcssModel,
+    u1_lo: usize,
+    u1_hi: usize,
+) {
     let (i, j, k) = model.dims();
     let r = model.rank();
     debug_assert!(u1_lo <= u1_hi && u1_hi <= i);
-    let mut p = Vec::with_capacity(1 + 8 + 24 + ((u1_hi - u1_lo) + j + k + 1) * r * 8);
+    p.reserve(1 + 8 + 24 + ((u1_hi - u1_lo) + j + k + 1) * r * 8);
     p.push(TAG_STEP);
-    put_u64(&mut p, epoch);
-    put_u32(&mut p, i as u32);
-    put_u32(&mut p, j as u32);
-    put_u32(&mut p, k as u32);
-    put_u32(&mut p, r as u32);
-    put_u32(&mut p, u1_lo as u32);
-    put_u32(&mut p, u1_hi as u32);
-    put_f64s(&mut p, &model.u1.as_slice()[u1_lo * r..u1_hi * r]);
-    put_f64s(&mut p, model.u2.as_slice());
-    put_f64s(&mut p, model.u3.as_slice());
-    put_f64s(&mut p, &model.h);
-    p
+    put_u64(p, epoch);
+    put_u32(p, i as u32);
+    put_u32(p, j as u32);
+    put_u32(p, k as u32);
+    put_u32(p, r as u32);
+    put_u32(p, u1_lo as u32);
+    put_u32(p, u1_hi as u32);
+    put_f64s(p, &model.u1.as_slice()[u1_lo * r..u1_hi * r]);
+    put_f64s(p, model.u2.as_slice());
+    put_f64s(p, model.u3.as_slice());
+    put_f64s(p, &model.h);
 }
 
 pub(crate) fn decode_step(payload: &[u8]) -> Result<(u64, TcssModel), WireError> {
@@ -484,35 +762,161 @@ pub(crate) fn decode_step(payload: &[u8]) -> Result<(u64, TcssModel), WireError>
     Ok((epoch, model))
 }
 
+/// The owned-rows hole a [`TAG_STEP_OWNED`] frame punches out of a `U¹`
+/// window: the intersection of the receiver's owned row range with
+/// `[lo, hi)`. Both ends derive it independently from the same
+/// [`crate::sparse_grads::owned_range`] map, so it is never on the wire.
+pub(crate) fn u1_hole(own: (usize, usize), lo: usize, hi: usize) -> (usize, usize) {
+    let h_lo = own.0.clamp(lo, hi);
+    let h_hi = own.1.clamp(h_lo, hi);
+    (h_lo, h_hi)
+}
+
+/// [`encode_step_into`] for a tail-sharded worker: identical layout, but
+/// the `U¹` window ships as the two slices around the receiver's owned
+/// rows ([`u1_hole`]). At steady state a worker's read window is mostly
+/// its own chunk block's rows, so this cuts the per-epoch broadcast to
+/// the boundary slivers owned by its neighbors.
+pub(crate) fn encode_step_owned_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    model: &TcssModel,
+    u1_lo: usize,
+    u1_hi: usize,
+    own: (usize, usize),
+) {
+    let (i, j, k) = model.dims();
+    let r = model.rank();
+    debug_assert!(u1_lo <= u1_hi && u1_hi <= i);
+    let (h_lo, h_hi) = u1_hole(own, u1_lo, u1_hi);
+    let sent = (u1_hi - u1_lo) - (h_hi - h_lo);
+    p.reserve(1 + 8 + 24 + (sent + j + k + 1) * r * 8);
+    p.push(TAG_STEP_OWNED);
+    put_u64(p, epoch);
+    put_u32(p, i as u32);
+    put_u32(p, j as u32);
+    put_u32(p, k as u32);
+    put_u32(p, r as u32);
+    put_u32(p, u1_lo as u32);
+    put_u32(p, u1_hi as u32);
+    put_f64s(p, &model.u1.as_slice()[u1_lo * r..h_lo * r]);
+    put_f64s(p, &model.u1.as_slice()[h_hi * r..u1_hi * r]);
+    put_f64s(p, model.u2.as_slice());
+    put_f64s(p, model.u3.as_slice());
+    put_f64s(p, &model.h);
+}
+
+/// Decode [`TAG_STEP_OWNED`], splicing the receiver's resident owned
+/// `U¹` rows (`res_u1`, the full `own` range slab) into the hole. The
+/// resident bytes are the same bits the coordinator's model holds for
+/// those rows, so the rebuilt window is bit-identical to a plain
+/// [`decode_step`] of the full broadcast.
+pub(crate) fn decode_step_owned(
+    payload: &[u8],
+    res_u1: &[f64],
+    own: (usize, usize),
+) -> Result<(u64, TcssModel), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_STEP_OWNED, "StepOwned")?;
+    let epoch = r.u64("epoch")?;
+    let i = r.u32("dim I")? as usize;
+    let j = r.u32("dim J")? as usize;
+    let k = r.u32("dim K")? as usize;
+    let rank = r.u32("rank")? as usize;
+    let u1_lo = r.u32("u1 window lo")? as usize;
+    let u1_hi = r.u32("u1 window hi")? as usize;
+    if u1_lo > u1_hi || u1_hi > i {
+        return Err(WireError::Malformed(format!(
+            "U1 window {u1_lo}..{u1_hi} outside dimension {i}"
+        )));
+    }
+    if own.0 > own.1 || own.1 > i || res_u1.len() != (own.1 - own.0) * rank {
+        return Err(WireError::Malformed(format!(
+            "resident rows {}..{} ({} elems) inconsistent with dim {i} rank {rank}",
+            own.0,
+            own.1,
+            res_u1.len()
+        )));
+    }
+    let (h_lo, h_hi) = u1_hole(own, u1_lo, u1_hi);
+    let u1 = {
+        let mut data = vec![0.0; i * rank];
+        let mut seg = Vec::new();
+        r.f64s_into((h_lo - u1_lo) * rank, &mut seg, "U1 window head")?;
+        data[u1_lo * rank..h_lo * rank].copy_from_slice(&seg);
+        seg.clear();
+        r.f64s_into((u1_hi - h_hi) * rank, &mut seg, "U1 window tail")?;
+        data[h_hi * rank..u1_hi * rank].copy_from_slice(&seg);
+        // Empty holes can clamp outside the owned range (a window that
+        // never reaches the owned rows); only index `res_u1` when there
+        // is something to splice.
+        if h_lo < h_hi {
+            data[h_lo * rank..h_hi * rank]
+                .copy_from_slice(&res_u1[(h_lo - own.0) * rank..(h_hi - own.0) * rank]);
+        }
+        Matrix::from_vec(i, rank, data)
+            .map_err(|e| WireError::Malformed(format!("bad U1 factor: {e}")))?
+    };
+    let mut factor = |rows: usize, what: &str| -> Result<Matrix, WireError> {
+        let mut data = Vec::new();
+        r.f64s_into(rows * rank, &mut data, what)?;
+        Matrix::from_vec(rows, rank, data)
+            .map_err(|e| WireError::Malformed(format!("bad {what} factor: {e}")))
+    };
+    let u2 = factor(j, "U2")?;
+    let u3 = factor(k, "U3")?;
+    let mut h = Vec::new();
+    r.f64s_into(rank, &mut h, "h")?;
+    r.done()?;
+    let mut model = TcssModel::try_new(u1, u2, u3)
+        .map_err(|e| WireError::Malformed(format!("inconsistent model: {e}")))?;
+    model.h = h;
+    Ok((epoch, model))
+}
+
 /// Worker → coordinator: per-chunk sparse deltas for one step, in
 /// ascending global chunk order, **un-merged** — the coordinator replays
 /// each chunk's [`SparseGrads::scatter_into`] adds itself, in global chunk
 /// order, so a worker-side pre-merge can never change the float stream.
+#[cfg(test)]
 pub(crate) fn encode_deltas(
     epoch: u64,
     busy_ns: u64,
     rank: usize,
     chunks: &[(f64, SparseGrads)],
 ) -> Vec<u8> {
-    let mut p = vec![TAG_DELTAS];
-    put_u64(&mut p, epoch);
-    put_u64(&mut p, busy_ns);
-    put_u32(&mut p, rank as u32);
-    put_u32(&mut p, chunks.len() as u32);
+    let mut p = Vec::new();
+    encode_deltas_into(&mut p, epoch, busy_ns, rank, chunks);
+    p
+}
+
+/// [`encode_deltas`] appending into a caller-owned buffer so the worker's
+/// per-epoch reply reuses its allocation across epochs.
+pub(crate) fn encode_deltas_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    busy_ns: u64,
+    rank: usize,
+    chunks: &[(f64, SparseGrads)],
+) {
+    p.push(TAG_DELTAS);
+    put_u64(p, epoch);
+    put_u64(p, busy_ns);
+    put_u32(p, rank as u32);
+    put_u32(p, chunks.len() as u32);
     for (loss, delta) in chunks {
-        put_f64(&mut p, *loss);
+        put_f64(p, *loss);
         let (r, factors, h) = delta.wire_parts();
         debug_assert_eq!(r, rank);
         for (rows, data) in factors {
-            put_u32(&mut p, rows.len() as u32);
+            put_u32(p, rows.len() as u32);
             for &row in rows {
-                put_u32(&mut p, row);
+                put_u32(p, row);
             }
-            put_f64s(&mut p, data);
+            put_f64s(p, data);
         }
-        put_f64s(&mut p, h);
+        put_f64s(p, h);
     }
-    p
 }
 
 /// Peek a Deltas frame's epoch without applying it (the coordinator
@@ -599,6 +1003,519 @@ pub(crate) fn apply_deltas(
 /// Coordinator → worker: clean exit.
 pub(crate) fn encode_shutdown() -> Vec<u8> {
     vec![TAG_SHUTDOWN]
+}
+
+// ---------------------------------------------------------------------
+// Tail-sharded protocol messages (see `super::sharded` for the epoch
+// state machine). Every worker → coordinator message starts with
+// `tag, epoch: u64, src: u32` so the coordinator can filter stale replay
+// frames and route without a full decode.
+// ---------------------------------------------------------------------
+
+fn put_counted_f64s(p: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(p, vs.len() as u32);
+    put_f64s(p, vs);
+}
+
+impl Reader<'_> {
+    /// A `u32` count followed by that many `f64`s, validated against an
+    /// expected element count.
+    fn counted_f64s(
+        &mut self,
+        expect: usize,
+        out: &mut Vec<f64>,
+        what: &str,
+    ) -> Result<(), WireError> {
+        let n = self.u32(what)? as usize;
+        if n != expect {
+            return Err(WireError::Malformed(format!(
+                "{what}: expected {expect} elements, got {n}"
+            )));
+        }
+        self.f64s_into(n, out, what)
+    }
+}
+
+/// Peek the epoch of any sharded message (all of them lead with
+/// `tag, epoch: u64`), for stale-frame filtering without a full decode.
+pub(crate) fn msg_epoch(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    r.u8("message tag")?;
+    r.u64("epoch")
+}
+
+/// Peek `(epoch, src)` of any worker → coordinator sharded message.
+pub(crate) fn msg_epoch_src(payload: &[u8]) -> Result<(u64, u32), WireError> {
+    let mut r = Reader::new(payload);
+    r.u8("message tag")?;
+    let epoch = r.u64("epoch")?;
+    let src = r.u32("src worker")?;
+    Ok((epoch, src))
+}
+
+/// Coordinator → worker: install resident owned-range state — the model
+/// rows, Adam moments, and step counter for the rows this worker owns.
+/// Sent once after Setup and again on every rollback/respawn; a worker
+/// accepts it at **any** receive point and resets its epoch state.
+pub(crate) fn encode_adopt_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    t: u64,
+    parts: [(&[f64], &[f64], &[f64]); 3],
+) {
+    p.push(TAG_ADOPT);
+    put_u64(p, epoch);
+    put_u64(p, t);
+    for (w, m, v) in parts {
+        debug_assert!(w.len() == m.len() && m.len() == v.len());
+        put_counted_f64s(p, w);
+        put_counted_f64s(p, m);
+        put_counted_f64s(p, v);
+    }
+}
+
+/// Decoded [`TAG_ADOPT`]: `(epoch, t, per-factor (w, m, v))`.
+pub(crate) struct Adopt {
+    /// Epoch label for diagnostics; a worker's reset does not depend on
+    /// it (the FIFO stream already orders Adopt against Steps).
+    #[allow(dead_code)]
+    pub epoch: u64,
+    pub t: u64,
+    pub w: [Vec<f64>; 3],
+    pub m: [Vec<f64>; 3],
+    pub v: [Vec<f64>; 3],
+}
+
+pub(crate) fn decode_adopt(payload: &[u8], expect: [usize; 3]) -> Result<Adopt, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_ADOPT, "Adopt")?;
+    let epoch = r.u64("epoch")?;
+    let t = r.u64("adam t")?;
+    let mut w: [Vec<f64>; 3] = Default::default();
+    let mut m: [Vec<f64>; 3] = Default::default();
+    let mut v: [Vec<f64>; 3] = Default::default();
+    for f in 0..3 {
+        r.counted_f64s(expect[f], &mut w[f], "adopted rows")?;
+        r.counted_f64s(expect[f], &mut m[f], "adopted m")?;
+        r.counted_f64s(expect[f], &mut v[f], "adopted v")?;
+    }
+    r.done()?;
+    Ok(Adopt { epoch, t, w, m, v })
+}
+
+/// Worker → owner: un-merged row deltas for rows `dest` owns, in global
+/// first-touch order (ascending chunk, first-touch within chunk). The
+/// coordinator relays the raw frame verbatim.
+pub(crate) fn encode_exch_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    src: u32,
+    dest: u32,
+    rank: usize,
+    parts: [(&[u32], &[f64]); 3],
+) {
+    p.push(TAG_EXCH);
+    put_u64(p, epoch);
+    put_u32(p, src);
+    put_u32(p, dest);
+    put_u32(p, rank as u32);
+    for (rows, data) in parts {
+        debug_assert_eq!(rows.len() * rank, data.len());
+        put_u32(p, rows.len() as u32);
+        for &row in rows {
+            put_u32(p, row);
+        }
+        put_f64s(p, data);
+    }
+}
+
+/// Peek `(epoch, src, dest)` of an Exch payload (the relay routes on
+/// these without decoding the body).
+pub(crate) fn exch_header(payload: &[u8]) -> Result<(u64, u32, u32), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_EXCH, "Exch")?;
+    let epoch = r.u64("epoch")?;
+    let src = r.u32("src worker")?;
+    let dest = r.u32("dest worker")?;
+    Ok((epoch, src, dest))
+}
+
+/// Replay an Exch payload's row adds into the receiver's owned-range
+/// gradient slabs (one `+=` per element, in payload order). `ranges` are
+/// the receiver's owned `[lo, hi)` row ranges per factor; `bufs` are the
+/// matching `(hi - lo) * rank` dense accumulators.
+pub(crate) fn apply_exch(
+    payload: &[u8],
+    expect_epoch: u64,
+    rank: usize,
+    ranges: [(usize, usize); 3],
+    bufs: &mut [Vec<f64>; 3],
+) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_EXCH, "Exch")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "exchange for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let _src = r.u32("src worker")?;
+    let _dest = r.u32("dest worker")?;
+    let got_rank = r.u32("rank")? as usize;
+    if got_rank != rank {
+        return Err(WireError::Malformed(format!(
+            "exchange rank {got_rank} does not match model rank {rank}"
+        )));
+    }
+    for (f, (lo, hi)) in ranges.into_iter().enumerate() {
+        let n_rows = r.u32("touched-row count")? as usize;
+        let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+        for _ in 0..n_rows {
+            rows.push(r.u32("row index")? as usize);
+        }
+        let data = r.take(n_rows * rank * 8, "row data")?;
+        let buf = &mut bufs[f];
+        for (slot, &row) in rows.iter().enumerate() {
+            if row < lo || row >= hi {
+                return Err(WireError::Malformed(format!(
+                    "exchange factor {f} touches row {row} outside owned range {lo}..{hi}"
+                )));
+            }
+            let src = &data[slot * rank * 8..(slot + 1) * rank * 8];
+            for (d, s) in buf[(row - lo) * rank..(row - lo + 1) * rank]
+                .iter_mut()
+                .zip(src.chunks_exact(8))
+            {
+                *d += f64::from_le_bytes(s.try_into().unwrap());
+            }
+        }
+    }
+    r.done()?;
+    Ok(())
+}
+
+/// Worker → coordinator: per-chunk losses and dense `h` deltas, ascending
+/// chunk order — the coordinator owns `h` and folds the global loss.
+pub(crate) fn encode_chunk_stats_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    src: u32,
+    rank: usize,
+    chunks: &[(f64, SparseGrads)],
+) {
+    p.push(TAG_CHUNK_STATS);
+    put_u64(p, epoch);
+    put_u32(p, src);
+    put_u32(p, rank as u32);
+    put_u32(p, chunks.len() as u32);
+    for (loss, delta) in chunks {
+        put_f64(p, *loss);
+        let (r, _factors, h) = delta.wire_parts();
+        debug_assert_eq!(r, rank);
+        put_f64s(p, h);
+    }
+}
+
+/// Decoded [`TAG_CHUNK_STATS`]: per-chunk losses plus the flattened
+/// `n_chunks × rank` `h` deltas.
+pub(crate) fn decode_chunk_stats(
+    payload: &[u8],
+    expect_epoch: u64,
+    rank: usize,
+) -> Result<(u32, Vec<f64>, Vec<f64>), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_CHUNK_STATS, "ChunkStats")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "chunk stats for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let src = r.u32("src worker")?;
+    let got_rank = r.u32("rank")? as usize;
+    if got_rank != rank {
+        return Err(WireError::Malformed(format!(
+            "chunk stats rank {got_rank} does not match model rank {rank}"
+        )));
+    }
+    let n = r.u32("chunk count")? as usize;
+    let mut losses = Vec::with_capacity(n.min(1 << 20));
+    let mut h = Vec::new();
+    for _ in 0..n {
+        losses.push(r.f64("chunk loss")?);
+        r.f64s_into(rank, &mut h, "chunk h delta")?;
+    }
+    r.done()?;
+    Ok((src, losses, h))
+}
+
+/// Coordinator → worker: the epoch's gradient tail, in one of three
+/// shapes (the mode byte after the epoch):
+///
+/// * `0` — tail inactive; the worker must skip the add entirely
+///   (adding zeros could flip `-0.0` accumulators to `+0.0`).
+/// * `1` — dense owned-range tail rows (Gram + Hausdorff head), added
+///   with a plain axpy. Shipped on Hausdorff epochs, whose gradient has
+///   no compact factorization.
+/// * `2` — the three `r × r` whole-data D matrices; the worker rebuilds
+///   its owned tail rows as `2·U^f·D^f` with
+///   [`tcss_linalg::Matrix::row_product_into`], bit-for-bit what the
+///   coordinator's dense path computes, at ~`3r²` floats on the wire
+///   instead of the owned row count.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TailMsg {
+    Inactive,
+    Dense([Vec<f64>; 3]),
+    Gram([Vec<f64>; 3]),
+}
+
+pub(crate) fn encode_tail_inactive_into(p: &mut Vec<u8>, epoch: u64) {
+    p.push(TAG_TAIL_ROWS);
+    put_u64(p, epoch);
+    p.push(0);
+}
+
+pub(crate) fn encode_tail_rows_into(p: &mut Vec<u8>, epoch: u64, parts: [&[f64]; 3]) {
+    p.push(TAG_TAIL_ROWS);
+    put_u64(p, epoch);
+    p.push(1);
+    for part in parts {
+        put_counted_f64s(p, part);
+    }
+}
+
+pub(crate) fn encode_tail_gram_into(p: &mut Vec<u8>, epoch: u64, d: &[tcss_linalg::Matrix; 3]) {
+    p.push(TAG_TAIL_ROWS);
+    put_u64(p, epoch);
+    p.push(2);
+    for m in d {
+        put_counted_f64s(p, m.as_slice());
+    }
+}
+
+/// Decode [`TAG_TAIL_ROWS`]. `expect` is the per-factor owned-range
+/// element count (dense mode), `rank` the model rank (gram mode ships
+/// `rank²` elements per factor).
+pub(crate) fn decode_tail_rows(
+    payload: &[u8],
+    expect_epoch: u64,
+    expect: [usize; 3],
+    rank: usize,
+) -> Result<TailMsg, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_TAIL_ROWS, "TailRows")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "tail rows for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let mode = r.u8("tail mode")?;
+    match mode {
+        0 => {
+            r.done()?;
+            Ok(TailMsg::Inactive)
+        }
+        1 => {
+            let mut parts: [Vec<f64>; 3] = Default::default();
+            for f in 0..3 {
+                r.counted_f64s(expect[f], &mut parts[f], "tail rows")?;
+            }
+            r.done()?;
+            Ok(TailMsg::Dense(parts))
+        }
+        2 => {
+            let mut mats: [Vec<f64>; 3] = Default::default();
+            for m in &mut mats {
+                r.counted_f64s(rank * rank, m, "tail gram matrix")?;
+            }
+            r.done()?;
+            Ok(TailMsg::Gram(mats))
+        }
+        other => Err(WireError::Malformed(format!("unknown tail mode {other}"))),
+    }
+}
+
+/// Worker → coordinator: per-owned-row gradient self-dots, row-ascending
+/// per factor — the coordinator folds these into the global gradient norm
+/// in factor-major, worker-ascending order.
+pub(crate) fn encode_norm_part_into(p: &mut Vec<u8>, epoch: u64, src: u32, dots: [&[f64]; 3]) {
+    p.push(TAG_NORM_PART);
+    put_u64(p, epoch);
+    put_u32(p, src);
+    for d in dots {
+        put_counted_f64s(p, d);
+    }
+}
+
+pub(crate) fn decode_norm_part(
+    payload: &[u8],
+    expect_epoch: u64,
+    expect: [usize; 3],
+) -> Result<(u32, [Vec<f64>; 3]), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_NORM_PART, "NormPartial")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "norm partial for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let src = r.u32("src worker")?;
+    let mut dots: [Vec<f64>; 3] = Default::default();
+    for f in 0..3 {
+        r.counted_f64s(expect[f], &mut dots[f], "row dots")?;
+    }
+    r.done()?;
+    Ok((src, dots))
+}
+
+/// Coordinator → worker: the divergence watchdog passed; apply Adam to
+/// your owned rows with this effective learning rate (`lr · lr_scale`,
+/// multiplied once on the coordinator so every peer uses the same bits).
+pub(crate) fn encode_verdict_into(p: &mut Vec<u8>, epoch: u64, lr_eff: f64) {
+    p.push(TAG_VERDICT);
+    put_u64(p, epoch);
+    put_f64(p, lr_eff);
+}
+
+pub(crate) fn decode_verdict(payload: &[u8], expect_epoch: u64) -> Result<f64, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_VERDICT, "Verdict")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "verdict for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let lr_eff = r.f64("effective lr")?;
+    r.done()?;
+    Ok(lr_eff)
+}
+
+/// `busy_ns` lives at this payload offset in an UpdatedRows message
+/// (tag + epoch + src); the worker patches the real figure over the
+/// placeholder after encoding, before framing.
+pub(crate) const UPD_ROWS_BUSY_OFFSET: usize = 13;
+
+/// Worker → coordinator: Adam-updated factor rows for the owned ranges —
+/// the coordinator splices them into the authoritative model.
+pub(crate) fn encode_upd_rows_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    src: u32,
+    busy_ns: u64,
+    parts: [&[f64]; 3],
+) {
+    p.push(TAG_UPD_ROWS);
+    put_u64(p, epoch);
+    put_u32(p, src);
+    put_u64(p, busy_ns);
+    for part in parts {
+        put_counted_f64s(p, part);
+    }
+}
+
+/// Decode [`TAG_UPD_ROWS`], copying the updated rows straight into the
+/// caller's model slices (no intermediate buffer). Returns `busy_ns`.
+pub(crate) fn apply_upd_rows(
+    payload: &[u8],
+    expect_epoch: u64,
+    dests: [&mut [f64]; 3],
+) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_UPD_ROWS, "UpdatedRows")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "updated rows for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let _src = r.u32("src worker")?;
+    let busy_ns = r.u64("busy_ns")?;
+    for dest in dests {
+        let n = r.u32("updated row count")? as usize;
+        if n != dest.len() {
+            return Err(WireError::Malformed(format!(
+                "updated rows: expected {} elements, got {n}",
+                dest.len()
+            )));
+        }
+        let bytes = r.take(n * 8, "updated row data")?;
+        for (d, s) in dest.iter_mut().zip(bytes.chunks_exact(8)) {
+            *d = f64::from_le_bytes(s.try_into().unwrap());
+        }
+    }
+    r.done()?;
+    Ok(busy_ns)
+}
+
+/// Coordinator → worker: ship your resident Adam moments so the
+/// coordinator can assemble a worker-count-independent checkpoint.
+pub(crate) fn encode_snap_req_into(p: &mut Vec<u8>, epoch: u64) {
+    p.push(TAG_SNAP_REQ);
+    put_u64(p, epoch);
+}
+
+pub(crate) fn decode_snap_req(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_SNAP_REQ, "SnapReq")?;
+    let epoch = r.u64("epoch")?;
+    r.done()?;
+    Ok(epoch)
+}
+
+/// Worker → coordinator: resident `m`/`v` moments for the owned ranges.
+pub(crate) fn encode_snap_rows_into(
+    p: &mut Vec<u8>,
+    epoch: u64,
+    src: u32,
+    m: [&[f64]; 3],
+    v: [&[f64]; 3],
+) {
+    p.push(TAG_SNAP_ROWS);
+    put_u64(p, epoch);
+    put_u32(p, src);
+    for part in m {
+        put_counted_f64s(p, part);
+    }
+    for part in v {
+        put_counted_f64s(p, part);
+    }
+}
+
+/// Decode [`TAG_SNAP_ROWS`], splicing the moments into the caller's
+/// full-model Adam slices.
+pub(crate) fn apply_snap_rows(
+    payload: &[u8],
+    expect_epoch: u64,
+    m_dests: [&mut [f64]; 3],
+    v_dests: [&mut [f64]; 3],
+) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    expect_tag(&mut r, TAG_SNAP_ROWS, "SnapRows")?;
+    let epoch = r.u64("epoch")?;
+    if epoch != expect_epoch {
+        return Err(WireError::Malformed(format!(
+            "snap rows for epoch {epoch}, expected {expect_epoch}"
+        )));
+    }
+    let _src = r.u32("src worker")?;
+    for dest in m_dests.into_iter().chain(v_dests) {
+        let n = r.u32("moment count")? as usize;
+        if n != dest.len() {
+            return Err(WireError::Malformed(format!(
+                "snap rows: expected {} elements, got {n}",
+                dest.len()
+            )));
+        }
+        let bytes = r.take(n * 8, "moment data")?;
+        for (d, s) in dest.iter_mut().zip(bytes.chunks_exact(8)) {
+            *d = f64::from_le_bytes(s.try_into().unwrap());
+        }
+    }
+    r.done()?;
+    Ok(())
 }
 
 /// The tag of a decoded payload (empty payloads are malformed).
@@ -701,6 +1618,9 @@ mod tests {
             chunk_start: 2,
             chunk_end: 7,
             threads: 2,
+            n_workers: 3,
+            tail_shard: true,
+            weight_decay: 0.015,
             entries: vec![
                 TensorEntry {
                     i: 1,
@@ -723,6 +1643,9 @@ mod tests {
         assert_eq!(s.seed, setup.seed);
         assert_eq!((s.chunk_start, s.chunk_end), (2, 7));
         assert_eq!(s.threads, 2);
+        assert_eq!(s.n_workers, 3);
+        assert!(s.tail_shard);
+        assert_eq!(s.weight_decay.to_bits(), 0.015f64.to_bits());
         assert_eq!(s.entries.len(), 2);
         assert_eq!(s.entries[1].value.to_bits(), (-0.25f64).to_bits());
     }
@@ -739,6 +1662,9 @@ mod tests {
             chunk_start: 0,
             chunk_end: 1,
             threads: 1,
+            n_workers: 1,
+            tail_shard: false,
+            weight_decay: 0.0,
             entries: vec![TensorEntry {
                 i: 2,
                 j: 0,
@@ -777,6 +1703,47 @@ mod tests {
                 .collect()
         };
         assert_eq!(bits(&model), bits(&decoded));
+    }
+
+    /// StepOwned with a resident fill must land on the same bits as a
+    /// plain Step of the full window, for holes at every position in the
+    /// window — interior, flush with either edge, covering it entirely,
+    /// and disjoint from it.
+    #[test]
+    fn step_owned_matches_full_step_bitwise() {
+        let r = 2usize;
+        let u1 =
+            Matrix::from_vec(6, r, (0..12).map(|v| (v as f64) * 0.125 + 1e-300).collect()).unwrap();
+        let u2 = Matrix::from_vec(2, r, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let u3 = Matrix::from_vec(2, r, vec![-1.0, -2.0, -3.0, -4.0]).unwrap();
+        let mut model = TcssModel::new(u1, u2, u3);
+        model.h = vec![0.5, -0.0];
+        for (lo, hi, own) in [
+            (1, 5, (2, 4)), // interior hole
+            (1, 5, (0, 3)), // hole flush with the window start
+            (1, 5, (4, 6)), // hole flush with the window end
+            (2, 4, (0, 6)), // owned range covers the whole window
+            (0, 2, (4, 6)), // owned range disjoint from the window
+            (0, 6, (0, 6)), // everything resident, nothing shipped
+        ] {
+            let mut p = Vec::new();
+            encode_step_owned_into(&mut p, 17, &model, lo, hi, own);
+            let res: Vec<f64> = model.u1.as_slice()[own.0 * r..own.1 * r].to_vec();
+            let (epoch, got) = decode_step_owned(&p, &res, own).unwrap();
+            assert_eq!(epoch, 17);
+            let (_, want) = decode_step(&encode_step(17, &model, lo, hi)).unwrap();
+            // The hole is own ∩ window and the resident bits equal the
+            // coordinator's model bits, so the rebuilt model must match
+            // the full-window decode everywhere (zero fill included).
+            assert_eq!(
+                got.u1.as_slice(),
+                want.u1.as_slice(),
+                "{lo}..{hi} own {own:?}"
+            );
+            assert_eq!(got.u2.as_slice(), want.u2.as_slice());
+            assert_eq!(got.u3.as_slice(), want.u3.as_slice());
+            assert_eq!(got.h, want.h);
+        }
     }
 
     #[test]
@@ -826,6 +1793,213 @@ mod tests {
                 .collect()
         };
         assert_eq!(bits(&direct), bits(&wired));
+    }
+
+    #[test]
+    fn frame_buf_matches_encode_frame_and_reuses_allocation() {
+        let mut buf = FrameBuf::new();
+        for payload in [b"abc".as_slice(), b"".as_slice(), b"longer payload!!"] {
+            let p = buf.payload();
+            p.extend_from_slice(payload);
+            assert_eq!(buf.finish(), encode_frame(payload).as_slice());
+        }
+        // Patching through payload_mut lands inside the checksummed bytes.
+        let p = buf.payload();
+        p.extend_from_slice(&[0u8; 8]);
+        buf.payload_mut()[..8].copy_from_slice(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        let framed = buf.finish().to_vec();
+        let mut dec = FrameDecoder::new();
+        dec.push(&framed);
+        let out = dec.next_frame().unwrap().unwrap();
+        assert_eq!(out, 0x0123_4567_89AB_CDEFu64.to_le_bytes());
+    }
+
+    #[test]
+    fn read_raw_frame_roundtrips_and_rejects_corruption() {
+        let good = encode_frame(b"exchange body");
+        let raw = read_raw_frame(&mut &good[..]).unwrap().unwrap();
+        assert_eq!(raw, good);
+        assert_eq!(raw_frame_payload(&raw), b"exchange body");
+        // Clean EOF between frames.
+        assert!(read_raw_frame(&mut &[][..]).unwrap().is_none());
+        // Truncated and corrupt streams are typed errors.
+        assert!(read_raw_frame(&mut &good[..good.len() - 2]).is_err());
+        let mut bad = good;
+        bad[HEADER_LEN + 1] ^= 0x40;
+        assert!(read_raw_frame(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn adopt_roundtrip_is_bit_exact() {
+        let mut p = Vec::new();
+        let w = [vec![1.5, -0.0], vec![2.0], vec![1e-300, 4.0, 5.0]];
+        let m = [vec![0.1, 0.2], vec![0.3], vec![0.4, 0.5, 0.6]];
+        let v = [vec![9.0, 8.0], vec![7.0], vec![6.0, 5.0, 4.0]];
+        encode_adopt_into(
+            &mut p,
+            11,
+            42,
+            [
+                (&w[0][..], &m[0][..], &v[0][..]),
+                (&w[1][..], &m[1][..], &v[1][..]),
+                (&w[2][..], &m[2][..], &v[2][..]),
+            ],
+        );
+        let a = decode_adopt(&p, [2, 1, 3]).unwrap();
+        assert_eq!((a.epoch, a.t), (11, 42));
+        assert_eq!(a.w[0][1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(a.w, w);
+        assert_eq!(a.m, m);
+        assert_eq!(a.v, v);
+        assert!(decode_adopt(&p, [2, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn exch_apply_replays_adds_in_payload_order() {
+        let mut p = Vec::new();
+        // rank 2, receiver owns u1 rows 2..5, u2 rows 0..1, u3 rows 0..0.
+        let rows1 = [3u32, 2, 3];
+        let data1 = [1.0, 2.0, 10.0, 20.0, 0.5, 0.25];
+        encode_exch_into(
+            &mut p,
+            7,
+            1,
+            0,
+            2,
+            [
+                (&rows1[..], &data1[..]),
+                (&[0u32][..], &[-1.0, -2.0][..]),
+                (&[][..], &[][..]),
+            ],
+        );
+        assert_eq!(exch_header(&p).unwrap(), (7, 1, 0));
+        let mut bufs = [vec![0.0; 6], vec![0.0; 2], vec![]];
+        apply_exch(&p, 7, 2, [(2, 5), (0, 1), (0, 0)], &mut bufs).unwrap();
+        // Row 3 accumulated twice (1.0+0.5, 2.0+0.25), row 2 once.
+        assert_eq!(bufs[0], vec![10.0, 20.0, 1.5, 2.25, 0.0, 0.0]);
+        assert_eq!(bufs[1], vec![-1.0, -2.0]);
+        // Out-of-range rows and wrong epochs are typed errors.
+        assert!(apply_exch(&p, 8, 2, [(2, 5), (0, 1), (0, 0)], &mut bufs).is_err());
+        assert!(apply_exch(&p, 7, 2, [(3, 5), (0, 1), (0, 0)], &mut bufs).is_err());
+    }
+
+    #[test]
+    fn chunk_stats_roundtrip() {
+        use crate::sparse_grads::{backprop_entry_sparse, GradScratch};
+        let (u1, u2, u3) = crate::init::random_init((3, 3, 3), 2, 9);
+        let model = TcssModel::new(u1, u2, u3);
+        let mut scratch = GradScratch::for_model(&model);
+        let mut chunks = Vec::new();
+        let mut want_h = Vec::new();
+        for c in 0..2usize {
+            let mut d = SparseGrads::new();
+            d.begin(&model);
+            backprop_entry_sparse(&model, &mut d, &mut scratch, c, c, c, 0.5 + c as f64);
+            d.detach(&mut scratch);
+            let (_, _, h) = d.wire_parts();
+            want_h.extend_from_slice(h);
+            chunks.push((0.25 * (c as f64 + 1.0), d));
+        }
+        let mut p = Vec::new();
+        encode_chunk_stats_into(&mut p, 4, 2, 2, &chunks);
+        assert_eq!(msg_epoch_src(&p).unwrap(), (4, 2));
+        let (src, losses, h) = decode_chunk_stats(&p, 4, 2).unwrap();
+        assert_eq!(src, 2);
+        assert_eq!(losses, vec![0.25, 0.5]);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&h), bits(&want_h));
+        assert!(decode_chunk_stats(&p, 5, 2).is_err());
+    }
+
+    #[test]
+    fn tail_rows_all_modes_roundtrip() {
+        let mut p = Vec::new();
+        encode_tail_inactive_into(&mut p, 3);
+        assert_eq!(
+            decode_tail_rows(&p, 3, [2, 1, 0], 2).unwrap(),
+            TailMsg::Inactive
+        );
+        p.clear();
+        let parts = [vec![0.5, -0.5], vec![1e-20], vec![]];
+        encode_tail_rows_into(&mut p, 3, [&parts[0], &parts[1], &parts[2]]);
+        let got = decode_tail_rows(&p, 3, [2, 1, 0], 2).unwrap();
+        assert_eq!(got, TailMsg::Dense(parts));
+        assert!(decode_tail_rows(&p, 3, [1, 1, 0], 2).is_err());
+        p.clear();
+        let d = [
+            tcss_linalg::Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            tcss_linalg::Matrix::zeros(2, 2),
+            tcss_linalg::Matrix::identity(2),
+        ];
+        encode_tail_gram_into(&mut p, 3, &d);
+        match decode_tail_rows(&p, 3, [2, 1, 0], 2).unwrap() {
+            TailMsg::Gram(mats) => {
+                for (got, want) in mats.iter().zip(d.iter()) {
+                    assert_eq!(got.as_slice(), want.as_slice());
+                }
+            }
+            other => panic!("expected gram tail, got {other:?}"),
+        }
+        // Wrong rank and an unknown mode byte are decode errors.
+        assert!(decode_tail_rows(&p, 3, [2, 1, 0], 3).is_err());
+        p.clear();
+        p.push(TAG_TAIL_ROWS);
+        put_u64(&mut p, 3);
+        p.push(9);
+        assert!(decode_tail_rows(&p, 3, [2, 1, 0], 2).is_err());
+    }
+
+    #[test]
+    fn norm_part_verdict_and_snap_roundtrip() {
+        let mut p = Vec::new();
+        encode_norm_part_into(&mut p, 6, 1, [&[1.0, 2.0], &[3.0], &[]]);
+        let (src, dots) = decode_norm_part(&p, 6, [2, 1, 0]).unwrap();
+        assert_eq!(src, 1);
+        assert_eq!(dots[0], vec![1.0, 2.0]);
+
+        p.clear();
+        encode_verdict_into(&mut p, 6, 0.00125);
+        assert_eq!(
+            decode_verdict(&p, 6).unwrap().to_bits(),
+            0.00125f64.to_bits()
+        );
+        assert!(decode_verdict(&p, 7).is_err());
+
+        p.clear();
+        let m = [vec![0.25, 0.5], vec![0.75], vec![]];
+        let v = [vec![1.25, 1.5], vec![1.75], vec![]];
+        encode_snap_rows_into(&mut p, 6, 1, [&m[0], &m[1], &m[2]], [&v[0], &v[1], &v[2]]);
+        let mut m_out = [vec![0.0; 2], vec![0.0], vec![]];
+        let mut v_out = [vec![0.0; 2], vec![0.0], vec![]];
+        {
+            let [m0, m1, m2] = &mut m_out;
+            let [v0, v1, v2] = &mut v_out;
+            apply_snap_rows(&p, 6, [m0, m1, m2], [v0, v1, v2]).unwrap();
+        }
+        assert_eq!(m_out, m);
+        assert_eq!(v_out, v);
+
+        p.clear();
+        encode_snap_req_into(&mut p, 9);
+        assert_eq!(decode_snap_req(&p).unwrap(), 9);
+    }
+
+    #[test]
+    fn upd_rows_splice_and_busy_patch() {
+        let mut p = Vec::new();
+        let parts = [vec![1.0, 2.0], vec![3.0], vec![]];
+        encode_upd_rows_into(&mut p, 5, 2, 0, [&parts[0], &parts[1], &parts[2]]);
+        p[UPD_ROWS_BUSY_OFFSET..UPD_ROWS_BUSY_OFFSET + 8]
+            .copy_from_slice(&0xFEED_FACEu64.to_le_bytes());
+        let mut d0 = vec![0.0; 2];
+        let mut d1 = vec![0.0];
+        let mut d2: Vec<f64> = vec![];
+        let busy = apply_upd_rows(&p, 5, [&mut d0, &mut d1, &mut d2]).unwrap();
+        assert_eq!(busy, 0xFEED_FACE);
+        assert_eq!(d0, parts[0]);
+        assert_eq!(d1, parts[1]);
+        assert_eq!(msg_epoch_src(&p).unwrap(), (5, 2));
+        assert!(apply_upd_rows(&p, 6, [&mut d0, &mut d1, &mut d2]).is_err());
     }
 
     #[test]

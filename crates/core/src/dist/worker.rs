@@ -11,17 +11,16 @@
 //! respawned worker is indistinguishable from the one it replaces.
 
 use super::wire::{
-    decode_setup, decode_step, encode_deltas, encode_frame, encode_hello, tag_of, FrameDecoder,
-    Setup, WireLoss, TAG_SETUP, TAG_SHUTDOWN, TAG_STEP,
+    decode_setup, decode_step, encode_deltas_into, encode_frame, encode_hello, tag_of, FrameBuf,
+    FrameDecoder, Setup, WireLoss, TAG_SETUP, TAG_SHUTDOWN, TAG_STEP,
 };
-use super::{read_frame, DistError};
+use super::{busy_now_ns, read_frame, DistError};
 use crate::loss::{l2_entry_chunk, negative_sampling_chunk, ENTRIES_PER_CHUNK};
 use crate::sparse_grads::{GradScratch, SparseGrads};
 use crate::workspace::TrainWorkspace;
 use std::io::Write;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
-use std::time::Instant;
 
 /// Run one worker process to completion: connect, handshake, serve steps
 /// until Shutdown (or a clean coordinator-side disconnect).
@@ -54,7 +53,23 @@ pub fn run_worker(socket: &Path, worker_id: u32) -> Result<(), DistError> {
     let entry_hi = (setup.chunk_end * ENTRIES_PER_CHUNK).min(n_entries);
     let ws = TrainWorkspace::new();
 
+    if setup.tail_shard {
+        return super::sharded::run_sharded_worker(
+            stream, dec, setup, tensor, entry_lo, entry_hi, ws, worker_id,
+        );
+    }
+
+    // The reply frame reuses one buffer across epochs.
+    let mut reply = FrameBuf::new();
     loop {
+        // `busy` spans recv → decode → eval → encode: everything between
+        // the frame hitting the socket and the reply being ready is work
+        // that runs concurrently across workers on a host with enough
+        // CPUs (the critical-path accounting in `bench_distributed`
+        // relies on that). [`busy_now_ns`] is process CPU time, so the
+        // blocking wait inside `read_frame` accrues ~nothing while the
+        // frame checksum + buffering it brackets is counted.
+        let t0 = busy_now_ns();
         let frame = match read_frame(&mut stream, &mut dec)? {
             Some(f) => f,
             // Coordinator dropped the connection between frames: treat it
@@ -63,12 +78,6 @@ pub fn run_worker(socket: &Path, worker_id: u32) -> Result<(), DistError> {
         };
         match tag_of(&frame)? {
             TAG_STEP => {
-                // `busy` spans decode → eval → encode: everything between
-                // the frame arriving and the reply being ready is work
-                // that runs concurrently across workers on a host with
-                // enough CPUs (the critical-path accounting in
-                // `bench_distributed` relies on that).
-                let t0 = Instant::now();
                 let (epoch, model) = decode_step(&frame)?;
                 if model.dims() != setup.dims || model.rank() != setup.rank {
                     return Err(DistError::Protocol(format!(
@@ -80,15 +89,15 @@ pub fn run_worker(socket: &Path, worker_id: u32) -> Result<(), DistError> {
                     )));
                 }
                 let chunks = eval_block(&setup, &tensor, &model, entry_lo, entry_hi, epoch, &ws);
-                let mut payload = encode_deltas(epoch, 0, setup.rank, &chunks);
+                encode_deltas_into(reply.payload(), epoch, 0, setup.rank, &chunks);
                 // Patch the real figure over the placeholder now that the
                 // encode is done (busy_ns lives at bytes 9..17: tag + epoch).
-                let busy_ns = t0.elapsed().as_nanos() as u64;
-                payload[9..17].copy_from_slice(&busy_ns.to_le_bytes());
+                let busy_ns = busy_now_ns().saturating_sub(t0);
+                reply.payload_mut()[9..17].copy_from_slice(&busy_ns.to_le_bytes());
                 for (_, delta) in chunks {
                     ws.deltas.put(delta);
                 }
-                stream.write_all(&encode_frame(&payload))?;
+                stream.write_all(reply.finish())?;
             }
             TAG_SHUTDOWN => return Ok(()),
             other => {
@@ -108,7 +117,7 @@ pub fn run_worker(socket: &Path, worker_id: u32) -> Result<(), DistError> {
 /// offsetting each local range recovers the global range the kernels (and
 /// the negative-sampling RNG keyed on it) expect. Results come back in
 /// ascending local = ascending global chunk order.
-fn eval_block(
+pub(super) fn eval_block(
     setup: &Setup,
     tensor: &tcss_sparse::SparseTensor3,
     model: &crate::model::TcssModel,

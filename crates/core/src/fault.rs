@@ -35,6 +35,7 @@ pub struct FaultPlan {
     poison_at: Cell<Option<usize>>,
     crash_before: Cell<Option<usize>>,
     kill_worker_at: Cell<Option<(usize, usize)>>,
+    kill_worker_mid_exchange: Cell<Option<(usize, usize)>>,
 }
 
 impl FaultPlan {
@@ -70,6 +71,33 @@ impl FaultPlan {
         FaultPlan {
             kill_worker_at: Cell::new(Some((epoch, worker))),
             ..FaultPlan::default()
+        }
+    }
+
+    /// During **tail-sharded** distributed training
+    /// ([`crate::dist::sharded`]), `SIGKILL` worker `worker` in the middle
+    /// of `epoch`'s delta exchange — immediately after the coordinator has
+    /// relayed the first of that worker's outbound exchange frames, so some
+    /// of its row deltas are already in flight to their owners when it
+    /// dies, once. Recovery must still land on the uninterrupted run's
+    /// exact bits (the plain protocol has no exchange, so this trigger is
+    /// inert there).
+    pub fn kill_worker_mid_exchange_at(epoch: usize, worker: usize) -> Self {
+        FaultPlan {
+            kill_worker_mid_exchange: Cell::new(Some((epoch, worker))),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Consume the mid-exchange kill trigger if it matches `(epoch,
+    /// worker)`.
+    pub(crate) fn take_kill_mid_exchange(&self, epoch: usize, worker: usize) -> bool {
+        match self.kill_worker_mid_exchange.get() {
+            Some((at, victim)) if at == epoch && victim == worker => {
+                self.kill_worker_mid_exchange.set(None);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -163,6 +191,14 @@ mod tests {
         assert_eq!(plan.take_kill_worker(1), None);
         assert_eq!(plan.take_kill_worker(2), Some(1));
         assert_eq!(plan.take_kill_worker(2), None, "kill must be consumed");
+        let plan = FaultPlan::kill_worker_mid_exchange_at(2, 1);
+        assert!(!plan.take_kill_mid_exchange(1, 1));
+        assert!(
+            !plan.take_kill_mid_exchange(2, 0),
+            "wrong victim must not fire"
+        );
+        assert!(plan.take_kill_mid_exchange(2, 1));
+        assert!(!plan.take_kill_mid_exchange(2, 1), "kill must be consumed");
     }
 
     #[test]

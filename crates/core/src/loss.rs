@@ -77,16 +77,36 @@ impl Grads {
         kernels::axpy(s, &other.h, &mut self.h);
     }
 
-    /// Global L2 norm over all buffers (lane-kernel reductions; the
-    /// canonical summation order of [`tcss_linalg::kernels`]).
+    /// Global L2 norm over all buffers.
+    ///
+    /// The summation order is **row-decomposable by construction**: each
+    /// row's squared norm is one [`kernels::dot`] (the canonical lane order
+    /// over the rank-sized row), and the per-row values fold sequentially —
+    /// `u1` rows ascending, then `u2`, then `u3`, then one `dot(h, h)`
+    /// term. A contiguous row range therefore contributes a contiguous run
+    /// of fold terms, which is what lets tail-sharded distributed training
+    /// ([`crate::dist`]) compute per-row dots on the owning workers and
+    /// fold them on the coordinator into the exact in-process bits.
     pub fn norm(&self) -> f64 {
         let mut acc = 0.0;
         for m in [&self.u1, &self.u2, &self.u3] {
-            let s = m.as_slice();
-            acc += kernels::dot(s, s);
+            for r in 0..m.rows() {
+                let row = m.row(r);
+                acc += kernels::dot(row, row);
+            }
         }
         acc += kernels::dot(&self.h, &self.h);
         acc.sqrt()
+    }
+
+    /// Fold one factor's per-row squared norms (`dots[i] = ‖row i‖²`,
+    /// produced with [`kernels::dot`] on each row) into a running
+    /// [`Grads::norm`] accumulator — the coordinator-side half of the
+    /// row-decomposable norm contract above.
+    pub(crate) fn norm_fold_rows(acc: &mut f64, dots: &[f64]) {
+        for &d in dots {
+            *acc += d;
+        }
     }
 }
 
@@ -121,22 +141,65 @@ pub(crate) fn backprop_entry(
 /// Eq 15 into `loss` (in place, preserving the accumulation order the
 /// bitwise contracts depend on) and its gradient into `grads`.
 pub(crate) fn whole_data_term(model: &TcssModel, w_minus: f64, loss: &mut f64, grads: &mut Grads) {
+    whole_data_term_sink(model, w_minus, &mut |t| *loss += t, grads);
+}
+
+/// [`whole_data_term`] with the loss contributions routed through a sink
+/// instead of added in place. The sink receives exactly the terms the
+/// in-place version adds, in the same order — so a caller that *records*
+/// them and replays `loss += term` later (the distributed coordinator
+/// computes the tail concurrently with worker evaluation, before the
+/// chunk-loss fold it must add onto) reproduces the in-process loss
+/// accumulator bit-for-bit.
+pub(crate) fn whole_data_term_sink(
+    model: &TcssModel,
+    w_minus: f64,
+    loss_term: &mut dyn FnMut(f64),
+    grads: &mut Grads,
+) {
+    let [d1, d2, d3] = whole_data_gram_mats(model, w_minus, loss_term, &mut grads.h);
+    // dB/dU¹ = 2 U¹ D¹ (D¹ symmetric); analogous for U² and U³.
+    let du1 = model.u1.matmul(&d1).expect("shapes agree").scaled(2.0);
+    grads.u1.axpy_mut(1.0, &du1).expect("shapes agree");
+    let du2 = model.u2.matmul(&d2).expect("shapes agree").scaled(2.0);
+    grads.u2.axpy_mut(1.0, &du2).expect("shapes agree");
+    let du3 = model.u3.matmul(&d3).expect("shapes agree").scaled(2.0);
+    grads.u3.axpy_mut(1.0, &du3).expect("shapes agree");
+}
+
+/// The `r × r` core of the whole-data term: the three coefficient
+/// matrices `D^f` with factor gradient `∂B/∂U^f = 2 U^f D^f`, plus the
+/// loss terms (through the sink, in the [`whole_data_term_sink`] order)
+/// and the `h` gradient (added onto `h_grad` in place).
+///
+/// Split out from [`whole_data_term_sink`] so the tail-sharded
+/// coordinator can broadcast just the D matrices and let each worker
+/// rebuild its owned rows of `2·U^f·D^f` with
+/// [`Matrix::row_product_into`] — bit-for-bit what the in-process
+/// `matmul` + `scaled(2.0)` path lands on, at `r × r` wire cost instead
+/// of dense rows. The loops below are the exact sequence the fused
+/// version ran (D construction interleaved with the loss sink, then the
+/// `h` gradient); only the factor matmuls moved out to the caller, and
+/// those read nothing the loops write.
+pub(crate) fn whole_data_gram_mats(
+    model: &TcssModel,
+    w_minus: f64,
+    loss_term: &mut dyn FnMut(f64),
+    h_grad: &mut [f64],
+) -> [Matrix; 3] {
     let r = model.h.len();
     let g1 = model.u1.gram();
     let g2 = model.u2.gram();
     let g3 = model.u3.gram();
-    let mut d = Matrix::zeros(r, r); // w₋ · h_{r₁} h_{r₂} G² G³ (for U¹ grad)
+    let mut d1 = Matrix::zeros(r, r); // w₋ · h_{r₁} h_{r₂} G² G³ (for U¹ grad)
     for r1 in 0..r {
         for r2 in 0..r {
             let w = w_minus * model.h[r1] * model.h[r2];
             let p123 = g1.get(r1, r2) * g2.get(r1, r2) * g3.get(r1, r2);
-            *loss += w * p123;
-            d.set(r1, r2, w * g2.get(r1, r2) * g3.get(r1, r2));
+            loss_term(w * p123);
+            d1.set(r1, r2, w * g2.get(r1, r2) * g3.get(r1, r2));
         }
     }
-    // dB/dU¹ = 2 U¹ D (D symmetric); analogous for U² and U³.
-    let du1 = model.u1.matmul(&d).expect("shapes agree").scaled(2.0);
-    grads.u1.axpy_mut(1.0, &du1).expect("shapes agree");
     let mut d2 = Matrix::zeros(r, r);
     let mut d3 = Matrix::zeros(r, r);
     for r1 in 0..r {
@@ -146,18 +209,15 @@ pub(crate) fn whole_data_term(model: &TcssModel, w_minus: f64, loss: &mut f64, g
             d3.set(r1, r2, w * g1.get(r1, r2) * g2.get(r1, r2));
         }
     }
-    let du2 = model.u2.matmul(&d2).expect("shapes agree").scaled(2.0);
-    grads.u2.axpy_mut(1.0, &du2).expect("shapes agree");
-    let du3 = model.u3.matmul(&d3).expect("shapes agree").scaled(2.0);
-    grads.u3.axpy_mut(1.0, &du3).expect("shapes agree");
     // dB/dh_{r₁} = 2 w₋ Σ_{r₂} h_{r₂} (G¹G²G³)_{r₁r₂}.
-    for r1 in 0..r {
+    for (r1, hg) in h_grad.iter_mut().take(r).enumerate() {
         let mut acc = 0.0;
         for r2 in 0..r {
             acc += model.h[r2] * g1.get(r1, r2) * g2.get(r1, r2) * g3.get(r1, r2);
         }
-        grads.h[r1] += 2.0 * w_minus * acc;
+        *hg += 2.0 * w_minus * acc;
     }
+    [d1, d2, d3]
 }
 
 /// The paper's rewritten whole-data loss (Eq 15) and its analytic gradient.
@@ -200,6 +260,25 @@ pub fn rewritten_loss_and_grad_ws(
     ws: &TrainWorkspace,
     grads: &mut Grads,
 ) -> f64 {
+    let mut loss = rewritten_entry_loss_ws(model, positives, w_plus, w_minus, ws, grads);
+    whole_data_term(model, w_minus, &mut loss, grads);
+    loss
+}
+
+/// The entry-chunk half of [`rewritten_loss_and_grad_ws`]: the positive
+/// term's loss and gradient *without* the Gram tail. The training loops
+/// call this and then accumulate [`whole_data_term`] into a separate tail
+/// buffer (see `TcssTrainer::epoch_grads`), so the per-element add order is
+/// identical whether the tail is computed in-process or shipped from a
+/// distributed coordinator.
+pub(crate) fn rewritten_entry_loss_ws(
+    model: &TcssModel,
+    positives: &[TensorEntry],
+    w_plus: f64,
+    w_minus: f64,
+    ws: &TrainWorkspace,
+    grads: &mut Grads,
+) -> f64 {
     let partials = tcss_linalg::map_chunks_with(
         positives.len(),
         ENTRIES_PER_CHUNK,
@@ -222,7 +301,6 @@ pub fn rewritten_loss_and_grad_ws(
         delta.scatter_into(grads);
         ws.deltas.put(delta);
     }
-    whole_data_term(model, w_minus, &mut loss, grads);
     loss
 }
 

@@ -210,6 +210,102 @@ impl SparseGrads {
     }
 }
 
+// ---------------------------------------------------------------------
+// Row ownership (owner-computes tail sharding, `crate::dist::sharded`)
+// ---------------------------------------------------------------------
+
+/// The contiguous row range worker `w` of `n_workers` owns in a factor
+/// with `dim` rows: `[w·dim/n, (w+1)·dim/n)`. The same balanced split the
+/// chunk-grid sharding uses — a pure function of `(dim, n_workers, w)`,
+/// so every peer derives the identical map locally.
+pub(crate) fn owned_range(dim: usize, n_workers: usize, w: usize) -> (usize, usize) {
+    (w * dim / n_workers, (w + 1) * dim / n_workers)
+}
+
+/// Inverse of [`owned_range`]: which worker owns `row`.
+pub(crate) fn row_owner(row: usize, dim: usize, n_workers: usize) -> usize {
+    debug_assert!(row < dim);
+    let w = (row * n_workers + n_workers - 1) / dim;
+    debug_assert!({
+        let (lo, hi) = owned_range(dim, n_workers, w);
+        lo <= row && row < hi
+    });
+    w
+}
+
+/// One destination's share of a worker's chunk deltas for one factor:
+/// touched rows in global first-touch order (ascending chunk, first-touch
+/// order within each chunk) with their accumulated `r`-wide buffers —
+/// exactly the adds [`FactorDelta::scatter_into`] would have replayed for
+/// these rows, in the same order.
+#[derive(Debug, Default)]
+pub(crate) struct OwnedRows {
+    pub rows: Vec<u32>,
+    pub data: Vec<f64>,
+}
+
+impl OwnedRows {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.data.clear();
+    }
+}
+
+/// Splits per-chunk [`SparseGrads`] by row owner for the reduce-scatter
+/// exchange: `parts[factor · n_owners + owner]` collects every touched
+/// row bound for `owner` across all chunks fed to
+/// [`OwnerSplit::split_chunk`] (call in ascending chunk order). Buffers
+/// are reused across epochs.
+#[derive(Debug)]
+pub(crate) struct OwnerSplit {
+    n_owners: usize,
+    parts: Vec<OwnedRows>,
+}
+
+impl OwnerSplit {
+    pub(crate) fn new(n_owners: usize) -> Self {
+        OwnerSplit {
+            n_owners,
+            parts: (0..3 * n_owners).map(|_| OwnedRows::default()).collect(),
+        }
+    }
+
+    /// Drop all collected rows (start of a fresh epoch).
+    pub(crate) fn clear(&mut self) {
+        for p in &mut self.parts {
+            p.clear();
+        }
+    }
+
+    /// The rows of `factor` (0 = `U¹`, 1 = `U²`, 2 = `U³`) bound for
+    /// `owner`.
+    pub(crate) fn part(&self, factor: usize, owner: usize) -> &OwnedRows {
+        &self.parts[factor * self.n_owners + owner]
+    }
+
+    /// Route one chunk's touched rows to their owners, preserving
+    /// first-touch order within the chunk.
+    pub(crate) fn split_chunk(&mut self, delta: &SparseGrads, dims: (usize, usize, usize)) {
+        let r = delta.r;
+        for (f, (fd, dim)) in [
+            (&delta.u1, dims.0),
+            (&delta.u2, dims.1),
+            (&delta.u3, dims.2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for (slot, &row) in fd.rows.iter().enumerate() {
+                let owner = row_owner(row as usize, dim, self.n_owners);
+                let part = &mut self.parts[f * self.n_owners + owner];
+                part.rows.push(row);
+                part.data
+                    .extend_from_slice(&fd.data[slot * r..(slot + 1) * r]);
+            }
+        }
+    }
+}
+
 /// Sparse counterpart of [`crate::loss::backprop_entry`]: accumulate the
 /// gradient of a per-entry score derivative `c = ∂L/∂X̂_{ijk}` into a
 /// chunk's sparse delta. The arithmetic (expression shapes and
@@ -299,6 +395,63 @@ mod tests {
             assert!(scratch.slot2.iter().all(|&s| s == EMPTY));
             assert!(scratch.slot3.iter().all(|&s| s == EMPTY));
         }
+    }
+
+    #[test]
+    fn owned_ranges_partition_and_row_owner_inverts() {
+        for dim in 1..40usize {
+            for n in 1..9usize {
+                let mut next = 0;
+                for w in 0..n {
+                    let (lo, hi) = owned_range(dim, n, w);
+                    assert_eq!(lo, next, "dim {dim} workers {n} worker {w}");
+                    assert!(hi >= lo);
+                    next = hi;
+                    for row in lo..hi {
+                        assert_eq!(row_owner(row, dim, n), w, "dim {dim} n {n} row {row}");
+                    }
+                }
+                assert_eq!(next, dim);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_split_preserves_first_touch_order_per_owner() {
+        let m = model(); // dims (6, 7, 4)
+        let mut scratch = GradScratch::for_model(&m);
+        let mut delta = SparseGrads::new();
+        delta.begin(&m);
+        // U¹ touches rows 5, 0, 5, 1 (first-touch order 5, 0, 1); with 2
+        // owners of 6 rows, owner 0 gets [0, 1], owner 1 gets [5].
+        for &(i, j, k, c) in &[
+            (5usize, 0usize, 0usize, 1.0),
+            (0, 1, 1, 2.0),
+            (5, 2, 3, 3.0),
+            (1, 3, 2, 4.0),
+        ] {
+            backprop_entry_sparse(&m, &mut delta, &mut scratch, i, j, k, c);
+        }
+        delta.detach(&mut scratch);
+        let mut split = OwnerSplit::new(2);
+        split.split_chunk(&delta, m.dims());
+        assert_eq!(split.part(0, 0).rows, vec![0, 1]);
+        assert_eq!(split.part(0, 1).rows, vec![5]);
+        assert_eq!(split.part(0, 0).data.len(), 2 * 3);
+        // The routed buffers are the accumulated chunk buffers, bit-for-bit.
+        let (r, [(rows1, data1), _, _], _) = delta.wire_parts();
+        let slot_of_5 = rows1.iter().position(|&x| x == 5).unwrap();
+        assert_eq!(
+            split.part(0, 1).data,
+            &data1[slot_of_5 * r..(slot_of_5 + 1) * r]
+        );
+        // U² rows 0, 1, 2, 3 of 7: owner 0 owns [0, 3), owner 1 [3, 7).
+        assert_eq!(split.part(1, 0).rows, vec![0, 1, 2]);
+        assert_eq!(split.part(1, 1).rows, vec![3]);
+        // clear() empties every part for the next epoch.
+        split.clear();
+        assert!(split.part(0, 0).rows.is_empty());
+        assert!(split.part(1, 1).data.is_empty());
     }
 
     #[test]

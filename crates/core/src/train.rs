@@ -18,12 +18,13 @@ use crate::dist::DistError;
 use crate::fault::{poison, FaultPlan};
 use crate::hausdorff::SocialHausdorffHead;
 use crate::init::{onehot_init, random_init, spectral_init};
-use crate::loss::{negative_sampling_loss_and_grad_ws, rewritten_loss_and_grad_ws, Grads};
+use crate::loss::{negative_sampling_loss_and_grad_ws, rewritten_entry_loss_ws, Grads};
 use crate::model::TcssModel;
 use crate::model_io::ModelIoError;
 use crate::workspace::TrainWorkspace;
 use tcss_data::{CheckIn, Dataset, Granularity};
 use tcss_geo::WeightedHausdorffParams;
+use tcss_linalg::kernels;
 use tcss_sparse::SparseTensor3;
 
 /// Typed failures from the fault-tolerant training runtime.
@@ -129,48 +130,30 @@ impl AdamState {
         lr: f64,
         weight_decay: f64,
     ) {
-        const B1: f64 = 0.9;
-        const B2: f64 = 0.999;
-        const EPS: f64 = 1e-8;
         self.t += 1;
-        let bc1 = 1.0 - B1.powi(self.t as i32);
-        let bc2 = 1.0 - B2.powi(self.t as i32);
-        // Zip iteration instead of indexed loops: elementwise (bitwise
-        // identical arithmetic) with no per-element bounds checks, which
-        // lets the whole update autovectorize (sqrt and divide included).
-        let update = |w: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64]| {
-            for (((wi, &gi), mi), vi) in w
-                .iter_mut()
-                .zip(g.iter())
-                .zip(m.iter_mut())
-                .zip(v.iter_mut())
-            {
-                *mi = B1 * *mi + (1.0 - B1) * gi;
-                *vi = B2 * *vi + (1.0 - B2) * gi * gi;
-                let mhat = *mi / bc1;
-                let vhat = *vi / bc2;
-                *wi -= lr * (mhat / (vhat.sqrt() + EPS) + weight_decay * *wi);
-            }
-        };
-        update(
+        let p = kernels::AdamParams::for_step(lr, weight_decay, self.t);
+        kernels::adam_update(
             model.u1.as_mut_slice(),
             grads.u1.as_slice(),
             self.m.u1.as_mut_slice(),
             self.v.u1.as_mut_slice(),
+            &p,
         );
-        update(
+        kernels::adam_update(
             model.u2.as_mut_slice(),
             grads.u2.as_slice(),
             self.m.u2.as_mut_slice(),
             self.v.u2.as_mut_slice(),
+            &p,
         );
-        update(
+        kernels::adam_update(
             model.u3.as_mut_slice(),
             grads.u3.as_slice(),
             self.m.u3.as_mut_slice(),
             self.v.u3.as_mut_slice(),
+            &p,
         );
-        update(&mut model.h, &grads.h, &mut self.m.h, &mut self.v.h);
+        kernels::adam_update(&mut model.h, &grads.h, &mut self.m.h, &mut self.v.h, &p);
     }
 }
 
@@ -199,6 +182,25 @@ pub struct TrainContext {
     pub l2: f64,
     /// `L₁` value this epoch (0 when the head is disabled).
     pub l1: f64,
+    /// Bytes the distributed coordinator wrote to worker sockets during
+    /// this epoch (0 for in-process training).
+    pub bytes_sent: u64,
+    /// Bytes the distributed coordinator read from worker sockets during
+    /// this epoch (0 for in-process training).
+    pub bytes_received: u64,
+}
+
+impl TrainContext {
+    /// An in-process epoch context (no socket traffic).
+    pub(crate) fn local(epoch: usize, l2: f64, l1: f64) -> Self {
+        TrainContext {
+            epoch,
+            l2,
+            l1,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
 }
 
 impl TcssTrainer {
@@ -324,24 +326,35 @@ impl TcssTrainer {
 
     /// One epoch's losses and joint gradient — the kernel shared by every
     /// training loop, so the plain and checkpointed paths cannot drift
-    /// apart numerically. Zeroes and refills the caller's `grads` buffer;
-    /// all scratch comes from `ws`, so steady-state epochs allocate
-    /// nothing.
+    /// apart numerically. Zeroes and refills the caller's `grads` buffer
+    /// (and the `tail` scratch buffer); all other scratch comes from `ws`,
+    /// so steady-state epochs allocate nothing.
+    ///
+    /// The epoch's gradient is assembled in the **canonical two-phase
+    /// order** the distributed layer mirrors: the entry-chunk deltas
+    /// scatter into `grads` first (ascending global chunk order), the
+    /// epoch tail — whole-data Gram term plus Hausdorff head — accumulates
+    /// into the separate `tail` buffer, and `tail` is then added into
+    /// `grads` **once per element** (skipped entirely on epochs where the
+    /// tail is inactive, so a quiet tail cannot perturb signed zeros).
+    /// Tail-sharded workers replay exactly this sequence on their owned
+    /// row ranges, which is what makes their bits equal these.
     fn epoch_grads(
         &self,
         model: &TcssModel,
         epoch: usize,
         ws: &TrainWorkspace,
         grads: &mut Grads,
+        tail: &mut Grads,
     ) -> (f64, f64) {
         let cfg = &self.config;
         grads.set_zero();
-        let l2 = match cfg.loss {
+        let mut l2 = match cfg.loss {
             LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive => {
                 // The naive strategy optimizes the same objective; the
                 // rewritten gradient is exact for it (Remark 1), so the
                 // timing experiment measures only the *loss evaluation*.
-                rewritten_loss_and_grad_ws(
+                rewritten_entry_loss_ws(
                     model,
                     self.tensor.entries(),
                     cfg.w_plus,
@@ -360,46 +373,137 @@ impl TcssTrainer {
                 grads,
             ),
         };
-        let mut l1 = 0.0;
-        if let Some(head) = &self.head {
-            if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
-                l1 = head.loss_and_grad_ws(model, grads, cfg.lambda, ws);
-            }
+        let l1 = self.epoch_tail_into(model, epoch, ws, tail, &mut l2);
+        if self.tail_active(epoch) {
+            grads.add_scaled(1.0, tail);
         }
         (l2, l1)
     }
 
-    /// The coordinator-local tail of an epoch's gradient: everything
-    /// [`TcssTrainer::epoch_grads`] computes *after* the sharded entry
-    /// loop. Workers ship only per-chunk entry deltas; the coordinator
-    /// sums their losses into `l2`, scatters their deltas into `grads`
-    /// (ascending chunk order), and then calls this — adding the
-    /// whole-data Gram term (Eq 15's tail; skipped for negative sampling,
-    /// exactly as in the in-process losses) and the Hausdorff head. Same
-    /// calls in the same order as the in-process path, so the distributed
-    /// epoch is bit-identical by construction.
-    pub(crate) fn epoch_tail(
+    /// Does epoch `epoch` have an active gradient tail? True when the loss
+    /// carries the whole-data Gram term and/or the Hausdorff head is due.
+    /// When false, [`TcssTrainer::epoch_tail_into`] leaves `tail` zeroed
+    /// and the caller must skip the tail add entirely — `x + 0.0` is not
+    /// always a bitwise no-op (`-0.0 + 0.0 = +0.0`), so "inactive" has to
+    /// mean *no add*, identically in-process and distributed.
+    pub(crate) fn tail_active(&self, epoch: usize) -> bool {
+        let cfg = &self.config;
+        matches!(
+            cfg.loss,
+            LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive
+        ) || (self.head.is_some() && cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every))
+    }
+
+    /// The epoch's gradient tail — whole-data Gram term (Eq 15; skipped
+    /// for negative sampling, exactly as in the in-process losses) and the
+    /// Hausdorff head — accumulated into the zeroed `tail` buffer, with
+    /// the Gram loss added into `l2`. Returns `L₁`.
+    ///
+    /// Shared by the in-process path ([`TcssTrainer::epoch_grads`]) and
+    /// both distributed coordinators: the plain mode adds `tail` into its
+    /// merged gradient whole, the tail-sharded mode ships each worker its
+    /// owned row ranges of `tail` instead. Same calls in the same order
+    /// everywhere, so the distributed epoch is bit-identical by
+    /// construction.
+    pub(crate) fn epoch_tail_into(
         &self,
         model: &TcssModel,
         epoch: usize,
         ws: &TrainWorkspace,
-        grads: &mut Grads,
+        tail: &mut Grads,
         l2: &mut f64,
     ) -> f64 {
         let cfg = &self.config;
+        tail.set_zero();
         if matches!(
             cfg.loss,
             LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive
         ) {
-            crate::loss::whole_data_term(model, cfg.w_minus, l2, grads);
+            crate::loss::whole_data_term(model, cfg.w_minus, l2, tail);
         }
         let mut l1 = 0.0;
         if let Some(head) = &self.head {
             if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
-                l1 = head.loss_and_grad_ws(model, grads, cfg.lambda, ws);
+                l1 = head.loss_and_grad_ws(model, tail, cfg.lambda, ws);
             }
         }
         l1
+    }
+
+    /// [`TcssTrainer::epoch_tail_into`] with the Gram loss contributions
+    /// *recorded* into `loss_terms` instead of added into `l2` — the
+    /// tail-sharded coordinator computes the tail concurrently with worker
+    /// chunk evaluation, before the chunk-loss fold exists, then replays
+    /// `l2 += term` in order afterwards. The add sequence on the loss
+    /// accumulator is identical either way (the gradient side is the same
+    /// code), so overlap cannot change a bit.
+    pub(crate) fn epoch_tail_deferred(
+        &self,
+        model: &TcssModel,
+        epoch: usize,
+        ws: &TrainWorkspace,
+        tail: &mut Grads,
+        loss_terms: &mut Vec<f64>,
+    ) -> f64 {
+        let cfg = &self.config;
+        tail.set_zero();
+        loss_terms.clear();
+        if matches!(
+            cfg.loss,
+            LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive
+        ) {
+            crate::loss::whole_data_term_sink(
+                model,
+                cfg.w_minus,
+                &mut |t| loss_terms.push(t),
+                tail,
+            );
+        }
+        let mut l1 = 0.0;
+        if let Some(head) = &self.head {
+            if cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every) {
+                l1 = head.loss_and_grad_ws(model, tail, cfg.lambda, ws);
+            }
+        }
+        l1
+    }
+
+    /// Is epoch `epoch`'s tail the whole-data Gram term *alone* — no
+    /// Hausdorff head due? Then the tail's factor gradients are exactly
+    /// `2·U^f·D^f` for three `r × r` matrices, and the tail-sharded
+    /// coordinator broadcasts the D matrices ([`TcssTrainer::epoch_tail_gram`])
+    /// instead of dense owned tail rows. Head epochs fall back to the
+    /// dense-row ship: the Hausdorff gradient has no such factorization.
+    pub(crate) fn tail_gram_only(&self, epoch: usize) -> bool {
+        let cfg = &self.config;
+        matches!(
+            cfg.loss,
+            LossStrategy::WholeDataRewritten | LossStrategy::WholeDataNaive
+        ) && !(self.head.is_some() && cfg.lambda > 0.0 && epoch.is_multiple_of(cfg.hausdorff_every))
+    }
+
+    /// Gram-mode deferred tail ([`TcssTrainer::tail_gram_only`] epochs):
+    /// the three `D` matrices, the recorded Gram loss terms, and the tail
+    /// `h` gradient — everything [`TcssTrainer::epoch_tail_deferred`]
+    /// produces except the dense factor rows, which each worker rebuilds
+    /// locally as `2·U^f·D^f` over its owned range. Same underlying calls
+    /// in the same order ([`crate::loss::whole_data_gram_mats`] is the
+    /// shared core), so the floats cannot diverge from the dense path.
+    pub(crate) fn epoch_tail_gram(
+        &self,
+        model: &TcssModel,
+        loss_terms: &mut Vec<f64>,
+        tail_h: &mut Vec<f64>,
+    ) -> [tcss_linalg::Matrix; 3] {
+        loss_terms.clear();
+        tail_h.clear();
+        tail_h.resize(model.rank(), 0.0);
+        crate::loss::whole_data_gram_mats(
+            model,
+            self.config.w_minus,
+            &mut |t| loss_terms.push(t),
+            tail_h,
+        )
     }
 
     /// Fresh-start-or-resume initialization shared by the in-process and
@@ -457,10 +561,11 @@ impl TcssTrainer {
         let mut adam = AdamState::new(model);
         let ws = TrainWorkspace::new();
         let mut grads = Grads::zeros(model);
+        let mut tail = Grads::zeros(model);
         for epoch in 0..cfg.epochs {
-            let (l2, l1) = self.epoch_grads(model, epoch, &ws, &mut grads);
+            let (l2, l1) = self.epoch_grads(model, epoch, &ws, &mut grads, &mut tail);
             adam.step(model, &grads, cfg.learning_rate, cfg.weight_decay);
-            on_epoch(TrainContext { epoch, l2, l1 });
+            on_epoch(TrainContext::local(epoch, l2, l1));
         }
     }
 
@@ -526,18 +631,19 @@ impl TcssTrainer {
 
         let ws = TrainWorkspace::new();
         let mut grads = Grads::zeros(&model);
+        let mut tail = Grads::zeros(&model);
         let mut epoch = start_epoch;
         while epoch < cfg.epochs {
             if faults.take_crash(epoch) {
                 return Err(TrainError::InjectedCrash { epoch });
             }
-            let (l2, l1) = self.epoch_grads(&model, epoch, &ws, &mut grads);
+            let (l2, l1) = self.epoch_grads(&model, epoch, &ws, &mut grads, &mut tail);
             if faults.take_poison(epoch) {
                 poison(&mut grads);
             }
 
             // --- Divergence watchdog -------------------------------------
-            if let Some(detail) = divergence_trouble(cfg, l2, l1, &grads) {
+            if let Some(detail) = divergence_trouble(cfg, l2, l1, grads.norm()) {
                 retries += 1;
                 if retries > cfg.max_retries {
                     return Err(TrainError::Diverged {
@@ -560,7 +666,7 @@ impl TcssTrainer {
                 cfg.learning_rate * lr_scale,
                 cfg.weight_decay,
             );
-            on_epoch(TrainContext { epoch, l2, l1 });
+            on_epoch(TrainContext::local(epoch, l2, l1));
             epoch += 1;
 
             // --- Checkpoint / snapshot cadence ----------------------------
@@ -609,18 +715,15 @@ impl TcssTrainer {
     }
 }
 
-/// The divergence watchdog's verdict on one epoch's losses and gradient:
-/// `Some(detail)` if the update must be rejected and rolled back. Shared
-/// by the in-process and distributed ([`crate::dist`]) loops so both
-/// reject exactly the same epochs.
-pub(crate) fn divergence_trouble(
-    cfg: &TcssConfig,
-    l2: f64,
-    l1: f64,
-    grads: &Grads,
-) -> Option<String> {
+/// The divergence watchdog's verdict on one epoch's losses and gradient
+/// norm: `Some(detail)` if the update must be rejected and rolled back.
+/// Shared by the in-process and distributed ([`crate::dist`]) loops so
+/// both reject exactly the same epochs. Takes the gradient norm
+/// pre-computed ([`Grads::norm`]'s row-decomposable order) because the
+/// tail-sharded coordinator folds it from worker-shipped per-row dots —
+/// the full gradient never materializes in one process there.
+pub(crate) fn divergence_trouble(cfg: &TcssConfig, l2: f64, l1: f64, gnorm: f64) -> Option<String> {
     let joint = cfg.lambda.mul_add(l1, l2);
-    let gnorm = grads.norm();
     if !joint.is_finite() {
         Some(format!("non-finite loss (L₂ {l2}, L₁ {l1})"))
     } else if !gnorm.is_finite() {

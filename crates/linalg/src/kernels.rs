@@ -238,6 +238,76 @@ pub fn update_row_quad(
     }
 }
 
+/// Adam's first-moment decay β₁ (the optimizer literature default).
+pub const ADAM_B1: f64 = 0.9;
+/// Adam's second-moment decay β₂.
+pub const ADAM_B2: f64 = 0.999;
+/// Adam's denominator guard ε.
+pub const ADAM_EPS: f64 = 1e-8;
+
+/// Scalar inputs of one [`adam_update`] call: learning rate, weight decay,
+/// the β/ε constants and the step-`t` bias corrections `1 − βᵗ`. Bundled so
+/// every caller — the in-process trainer and the tail-sharded distributed
+/// workers alike — derives them through [`AdamParams::for_step`] and cannot
+/// drift in how `t` turns into `bc1`/`bc2`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamParams {
+    /// Effective learning rate (base rate × any backoff scale).
+    pub lr: f64,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f64,
+    /// First-moment bias correction `1 − β₁ᵗ`.
+    pub bc1: f64,
+    /// Second-moment bias correction `1 − β₂ᵗ`.
+    pub bc2: f64,
+}
+
+impl AdamParams {
+    /// Parameters for step `t` (the *post-increment* step counter: the
+    /// first update passes `t = 1`).
+    #[inline]
+    pub fn for_step(lr: f64, weight_decay: f64, t: u64) -> Self {
+        AdamParams {
+            lr,
+            weight_decay,
+            bc1: 1.0 - ADAM_B1.powi(t as i32),
+            bc2: 1.0 - ADAM_B2.powi(t as i32),
+        }
+    }
+}
+
+/// One Adam step over a parameter slice: moment update plus parameter
+/// write-back,
+///
+/// ```text
+/// m[i] = β₁·m[i] + (1−β₁)·g[i]
+/// v[i] = β₂·v[i] + (1−β₂)·g[i]·g[i]
+/// w[i] -= lr · (m̂/(√v̂ + ε) + weight_decay·w[i])      m̂ = m[i]/bc1, v̂ = v[i]/bc2
+/// ```
+///
+/// Elementwise — no cross-element reduction, so the result is bit-for-bit
+/// identical to the scalar loop *and* decomposes freely over any row range:
+/// updating `[0, n)` in one call equals updating `[0, k)` then `[k, n)`.
+/// That range-splittability is what lets the distributed tail-sharded mode
+/// run this kernel per owned row range on different processes and still
+/// land on the single-process bits.
+#[inline]
+pub fn adam_update(w: &mut [f64], g: &[f64], m: &mut [f64], v: &mut [f64], p: &AdamParams) {
+    debug_assert_eq!(w.len(), g.len());
+    debug_assert_eq!(w.len(), m.len());
+    debug_assert_eq!(w.len(), v.len());
+    let n = w.len();
+    let g = &g[..n];
+    let (m, v) = (&mut m[..n], &mut v[..n]);
+    for i in 0..n {
+        m[i] = ADAM_B1 * m[i] + (1.0 - ADAM_B1) * g[i];
+        v[i] = ADAM_B2 * v[i] + (1.0 - ADAM_B2) * g[i] * g[i];
+        let mhat = m[i] / p.bc1;
+        let vhat = v[i] / p.bc2;
+        w[i] -= p.lr * (mhat / (vhat.sqrt() + ADAM_EPS) + p.weight_decay * w[i]);
+    }
+}
+
 /// Multi-accumulator f32 dot product `Σ a[i]·b[i]` in the canonical
 /// eight-lane order (see [`LANES_F32`]). Slices must have equal length.
 ///
@@ -412,6 +482,39 @@ mod tests {
             }
             let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&got), bits(&want), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn adam_update_matches_scalar_and_splits_by_range() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 64, 65] {
+            let g = v(n, |i| (i as f64 * 0.23 - 0.7).sin());
+            let mut w1 = v(n, |i| (i as f64 * 0.41).cos());
+            let mut m1 = v(n, |i| i as f64 * 0.003 - 0.1);
+            let mut v1 = v(n, |i| (i as f64 * 0.002 + 0.05).abs());
+            let (mut w2, mut m2, mut v2) = (w1.clone(), m1.clone(), v1.clone());
+            let (mut w3, mut m3, mut v3) = (w1.clone(), m1.clone(), v1.clone());
+            let p = AdamParams::for_step(0.05, 0.01, 3);
+            adam_update(&mut w1, &g, &mut m1, &mut v1, &p);
+            // Scalar reference, written as the pre-kernel inline loop was.
+            for i in 0..n {
+                m2[i] = ADAM_B1 * m2[i] + (1.0 - ADAM_B1) * g[i];
+                v2[i] = ADAM_B2 * v2[i] + (1.0 - ADAM_B2) * g[i] * g[i];
+                let mhat = m2[i] / p.bc1;
+                let vhat = v2[i] / p.bc2;
+                w2[i] -= p.lr * (mhat / (vhat.sqrt() + ADAM_EPS) + p.weight_decay * w2[i]);
+            }
+            let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&w1), bits(&w2), "w n = {n}");
+            assert_eq!(bits(&m1), bits(&m2), "m n = {n}");
+            assert_eq!(bits(&v1), bits(&v2), "v n = {n}");
+            // Range-splittability: [0, k) then [k, n) equals one call.
+            let k = n / 3;
+            adam_update(&mut w3[..k], &g[..k], &mut m3[..k], &mut v3[..k], &p);
+            adam_update(&mut w3[k..], &g[k..], &mut m3[k..], &mut v3[k..], &p);
+            assert_eq!(bits(&w3), bits(&w1), "split w n = {n}");
+            assert_eq!(bits(&m3), bits(&m1), "split m n = {n}");
+            assert_eq!(bits(&v3), bits(&v1), "split v n = {n}");
         }
     }
 

@@ -282,6 +282,71 @@ impl Matrix {
         Ok(Matrix::from_vec(self.rows, n, data).expect("chunks cover all rows"))
     }
 
+    /// One row of a matrix product: accumulate `a_row · self` into `out`.
+    ///
+    /// **Bitwise contract:** this is row `i` of [`Self::matmul`] extracted
+    /// as a standalone kernel. The tile walk (`j` blocks outer, `k` blocks
+    /// inner) and the quad/remainder split within a tile are copied from
+    /// `matmul`'s inner loop verbatim, and in `matmul` each output row's
+    /// accumulation sequence is independent of every other row in its
+    /// chunk — so `row_product_into(lhs.row(i), out)` produces bits equal
+    /// to row `i` of `lhs.matmul(self)` for any `i`, regardless of how
+    /// `matmul` chunked its rows. The tail-sharded trainer leans on this:
+    /// workers rebuild their owned rows of the whole-data gradient
+    /// `2·U·D` locally from the broadcast `r × r` D matrix and must land
+    /// on the coordinator's floats exactly (pinned by
+    /// `row_product_matches_matmul_rows` below).
+    ///
+    /// `out` is accumulated into (callers wanting the plain product zero
+    /// it first), matching `matmul`'s zero-initialized output block.
+    pub fn row_product_into(&self, a_row: &[f64], out: &mut [f64]) -> Result<()> {
+        if a_row.len() != self.rows || out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("row of {} and out of {}", self.rows, self.cols),
+                got: format!("row of {} and out of {}", a_row.len(), out.len()),
+            });
+        }
+        let n = self.cols;
+        let m = self.rows;
+        let mut jb = 0;
+        while jb < n {
+            let j_hi = (jb + Self::J_BLOCK).min(n);
+            let mut kb = 0;
+            while kb < m {
+                let k_hi = (kb + Self::K_BLOCK).min(m);
+                let a_seg = &a_row[kb..k_hi];
+                let out_row = &mut out[jb..j_hi];
+                let span = k_hi - kb;
+                let quads = span - span % 4;
+                let mut kk = 0;
+                while kk < quads {
+                    let k0 = kb + kk;
+                    crate::kernels::update_row_quad(
+                        out_row,
+                        [a_seg[kk], a_seg[kk + 1], a_seg[kk + 2], a_seg[kk + 3]],
+                        &self.data[k0 * n + jb..k0 * n + j_hi],
+                        &self.data[(k0 + 1) * n + jb..(k0 + 1) * n + j_hi],
+                        &self.data[(k0 + 2) * n + jb..(k0 + 2) * n + j_hi],
+                        &self.data[(k0 + 3) * n + jb..(k0 + 3) * n + j_hi],
+                    );
+                    kk += 4;
+                }
+                while kk < span {
+                    let k0 = kb + kk;
+                    crate::kernels::axpy(
+                        a_seg[kk],
+                        &self.data[k0 * n + jb..k0 * n + j_hi],
+                        out_row,
+                    );
+                    kk += 1;
+                }
+                kb = k_hi;
+            }
+            jb = j_hi;
+        }
+        Ok(())
+    }
+
     /// Rows of `other` per L1-resident block in [`Self::matmul_nt`]. With
     /// ranks `r ≤ 64` a 64-row block of the right operand is ≤ 32 KiB, so
     /// it stays cache-hot while every row of a left-operand chunk streams
@@ -629,6 +694,47 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 7.0]]).unwrap();
         let i = Matrix::identity(3);
         assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    /// Pin of the `row_product_into` bitwise contract: every row of
+    /// `a.matmul(b)` must be bit-for-bit reproducible from the standalone
+    /// row kernel. Shapes cross the `J_BLOCK`/`K_BLOCK` tile boundaries
+    /// and include ragged quad remainders so every code path is compared.
+    #[test]
+    fn row_product_matches_matmul_rows() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for &(rows, inner, cols) in &[(7, 16, 16), (3, 66, 65), (130, 70, 5), (4, 3, 1)] {
+            let a =
+                Matrix::from_vec(rows, inner, (0..rows * inner).map(|_| next()).collect()).unwrap();
+            let b =
+                Matrix::from_vec(inner, cols, (0..inner * cols).map(|_| next()).collect()).unwrap();
+            let want = a.matmul(&b).unwrap();
+            let mut out = vec![0.0; cols];
+            for i in 0..rows {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                b.row_product_into(a.row(i), &mut out).unwrap();
+                for (j, &got) in out.iter().enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.get(i, j).to_bits(),
+                        "row {i} col {j} of {rows}x{inner}x{cols}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_product_shape_mismatch() {
+        let b = Matrix::zeros(3, 2);
+        assert!(b.row_product_into(&[1.0; 4], &mut [0.0; 2]).is_err());
+        assert!(b.row_product_into(&[1.0; 3], &mut [0.0; 3]).is_err());
     }
 
     #[test]
